@@ -1,0 +1,184 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §3 for the experiment index). Each benchmark executes the
+// corresponding experiment in the deterministic simulator and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Absolute wall-clock per op is the cost
+// of simulating the scenario, not a protocol quantity; the custom metrics
+// (recovery_ms, blocked_ms, ...) are the paper's numbers.
+package rollrec
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cell parses a duration-looking table cell ("34.1ms", "4.50s", "0") back
+// to milliseconds for metric reporting.
+func cell(t *Table, row, col int) float64 {
+	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		return -1
+	}
+	s := t.Rows[row][col]
+	if s == "0" {
+		return 0
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		return float64(d) / float64(time.Millisecond)
+	}
+	if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+		return f
+	}
+	return -1
+}
+
+// BenchmarkE1SingleFailure regenerates E1: the paper's first experiment
+// (single failure, equal recovery time, ≈50 ms blocking vs none).
+func BenchmarkE1SingleFailure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := E1(1)
+		b.ReportMetric(cell(&t, 0, 1), "recovery_new_ms")
+		b.ReportMetric(cell(&t, 1, 2), "blocked_baseline_ms")
+		b.ReportMetric(cell(&t, 0, 2), "blocked_new_ms")
+	}
+}
+
+// BenchmarkE2OverlappingFailures regenerates E2: a second failure during
+// recovery (≈5 s dominated by detection+restore; blocking style stalls
+// every live process for the window).
+func BenchmarkE2OverlappingFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := E2(1)
+		b.ReportMetric(cell(&t, 0, 2), "recovery_second_ms")
+		b.ReportMetric(cell(&t, 1, 3), "blocked_baseline_ms")
+		b.ReportMetric(cell(&t, 0, 3), "blocked_new_ms")
+	}
+}
+
+// BenchmarkD1ScaleN regenerates D1: intrusion vs cluster size.
+func BenchmarkD1ScaleN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D1(1)
+		// Last blocking row: n=32.
+		b.ReportMetric(cell(&t, len(t.Rows)-1, 3), "blocked_n32_ms")
+	}
+}
+
+// BenchmarkD2StorageSweep regenerates D2: intrusion vs stable-storage
+// penalty (the paper's thesis).
+func BenchmarkD2StorageSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D2(1)
+		b.ReportMetric(cell(&t, len(t.Rows)-2, 3), "blocked_blocking_x16_ms")
+		b.ReportMetric(cell(&t, len(t.Rows)-3, 3), "blocked_new_x16_ms")
+	}
+}
+
+// BenchmarkD3MessageCounts regenerates D3: the traditional communication
+// metric (the new algorithm pays more control messages).
+func BenchmarkD3MessageCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D3(1)
+		b.ReportMetric(cell(&t, len(t.Rows)-2, 2), "ctlmsgs_new_n16")
+		b.ReportMetric(cell(&t, len(t.Rows)-1, 2), "ctlmsgs_baseline_n16")
+	}
+}
+
+// BenchmarkD4FailureFreeOverhead regenerates D4: piggyback cost vs f.
+func BenchmarkD4FailureFreeOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D4(1)
+		b.ReportMetric(cell(&t, 0, 1), "dets_per_msg_f1")
+		b.ReportMetric(cell(&t, len(t.Rows)-1, 1), "dets_per_msg_fn")
+	}
+}
+
+// BenchmarkD5Breakdown regenerates D5: the recovery-time phase breakdown.
+func BenchmarkD5Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D5(1)
+		b.ReportMetric(cell(&t, 0, 2), "detect_ms")
+		b.ReportMetric(cell(&t, 0, 3), "restore_ms")
+		b.ReportMetric(cell(&t, 0, 4), "gather_ms")
+	}
+}
+
+// BenchmarkD6ManethoMode regenerates D6: intrusion by recovery style.
+func BenchmarkD6ManethoMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D6(1)
+		b.ReportMetric(cell(&t, 2, 1), "blocked_manetho_ms")
+		b.ReportMetric(cell(&t, 1, 1), "blocked_blocking_ms")
+	}
+}
+
+// BenchmarkD7NetworkSweep regenerates D7: where expensive communication
+// starts to matter again.
+func BenchmarkD7NetworkSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D7(1)
+		b.ReportMetric(cell(&t, len(t.Rows)-2, 3), "gather_wan_ms")
+		b.ReportMetric(cell(&t, 0, 3), "gather_lan_ms")
+	}
+}
+
+// BenchmarkD8ModelValidation regenerates D8: the analytical cost model
+// validated against the simulator.
+func BenchmarkD8ModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D8(1)
+		// Model/measured ratio for the blocking style's intrusion.
+		b.ReportMetric(cell(&t, 9, 4), "blocked_model_over_measured")
+	}
+}
+
+// BenchmarkD9CoordinatedComparison regenerates D9: message logging vs
+// coordinated checkpointing with global rollback.
+func BenchmarkD9CoordinatedComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D9(1)
+		b.ReportMetric(cell(&t, 0, 3), "redone_logging")
+		b.ReportMetric(cell(&t, 1, 3), "redone_coordinated")
+		b.ReportMetric(cell(&t, 1, 2), "blocked_coordinated_ms")
+	}
+}
+
+// BenchmarkD10Orphans regenerates D10: orphan counts under FBL vs
+// optimistic logging.
+func BenchmarkD10Orphans(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := D10(1)
+		b.ReportMetric(cell(&t, 0, 1), "orphans_fbl")
+		b.ReportMetric(cell(&t, 1, 1), "orphans_optimistic")
+		b.ReportMetric(cell(&t, 1, 2), "lost_optimistic")
+	}
+}
+
+// BenchmarkF1Figure1 regenerates the paper's Figure 1 execution with a
+// crash of p and measures its recovery.
+func BenchmarkF1Figure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(Config{
+			N:               3,
+			F:               2,
+			Seed:            7,
+			Style:           NonBlocking,
+			App:             Figure1(3000),
+			CheckpointEvery: time.Second,
+			StatePad:        16 << 10,
+		})
+		c.Crash(1500*time.Millisecond, 0)
+		if !c.RunUntilDone(time.Second, 5*time.Minute) {
+			b.Fatal("figure-1 run did not settle")
+		}
+		if errs := c.Check(); len(errs) > 0 {
+			b.Fatal(errs[0])
+		}
+		tr := c.Metrics(0).CurrentRecovery()
+		b.ReportMetric(float64(tr.Total())/float64(time.Millisecond), "recovery_ms")
+	}
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure in DESIGN.md §3, printed as aligned text tables.
+//
+// Usage:
+//
+//	experiments [-seed N] [-only E1,E2,...] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rollrec/internal/experiments"
+)
+
+var registry = []struct {
+	id   string
+	desc string
+	run  func(int64) experiments.Table
+}{
+	{"E1", "single failure (paper §5, first experiment)", experiments.E1},
+	{"E2", "second failure during recovery (paper §5, second experiment)", experiments.E2},
+	{"D1", "scale sweep: blocked time vs n", experiments.D1},
+	{"D2", "stable-storage latency sweep", experiments.D2},
+	{"D3", "recovery communication counts", experiments.D3},
+	{"D4", "failure-free overhead vs f", experiments.D4},
+	{"D5", "recovery-time breakdown", experiments.D5},
+	{"D6", "intrusion by recovery style", experiments.D6},
+	{"D7", "network latency sweep", experiments.D7},
+	{"D8", "analytical cost model vs simulation", experiments.D8},
+	{"D9", "message logging vs coordinated checkpointing", experiments.D9},
+	{"D10", "orphans: FBL vs optimistic logging", experiments.D10},
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		table := e.run(*seed)
+		fmt.Println(table.String())
+		fmt.Printf("(%s computed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *only)
+		os.Exit(2)
+	}
+}

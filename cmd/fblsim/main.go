@@ -1,0 +1,182 @@
+// Command fblsim runs one rollback-recovery scenario in the deterministic
+// simulator and prints a per-process summary.
+//
+// Usage:
+//
+//	fblsim -n 8 -f 2 -style nonblocking -crash 10s:3,14s:5 -horizon 30s
+//
+// Flags select the cluster size, failure budget, recovery algorithm,
+// workload, hardware profile, and a crash schedule of time:pid pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rollrec/internal/cluster"
+	"rollrec/internal/failure"
+	"rollrec/internal/ids"
+	"rollrec/internal/metrics"
+	"rollrec/internal/node"
+	"rollrec/internal/recovery"
+	"rollrec/internal/wire"
+	"rollrec/internal/workload"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 8, "application processes")
+		f       = flag.Int("f", 2, "failure budget (>= n selects the f=n instance)")
+		styleF  = flag.String("style", "nonblocking", "recovery style: nonblocking|blocking|manetho")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		hwF     = flag.String("hw", "1995", "hardware profile: 1995|modern")
+		appF    = flag.String("app", "gossip", "workload: gossip|ring|clientserver")
+		crash   = flag.String("crash", "", "crash schedule, e.g. 10s:3,14s:5")
+		horizon = flag.Duration("horizon", 30*time.Second, "virtual run time")
+		cpEvery = flag.Duration("checkpoint", 4*time.Second, "checkpoint interval")
+		pad     = flag.Int("statepad", 1<<20, "checkpoint padding bytes (process image size)")
+		trace   = flag.Bool("trace", false, "emit the event trace to stderr")
+	)
+	flag.Parse()
+
+	style, err := parseStyle(*styleF)
+	if err != nil {
+		fatal(err)
+	}
+	hw, err := parseHW(*hwF)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := parseApp(*appF)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := parseCrashes(*crash, *n)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := cluster.Config{
+		N:               *n,
+		F:               *f,
+		Seed:            *seed,
+		HW:              hw,
+		Style:           style,
+		App:             app,
+		CheckpointEvery: *cpEvery,
+		StatePad:        *pad,
+	}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	c := cluster.New(cfg)
+	c.ApplyPlan(plan)
+	c.Run(*horizon)
+
+	fmt.Printf("scenario: n=%d f=%d style=%s hw=%s app=%s seed=%d horizon=%v crashes=%d\n\n",
+		*n, *f, style, *hwF, *appF, *seed, *horizon, len(plan))
+	fmt.Printf("%-5s %-10s %-9s %-9s %-9s %-10s %-10s %-9s\n",
+		"proc", "delivered", "sent", "blocked", "storage", "recovery", "gather", "replay")
+	for i := 0; i < *n; i++ {
+		p := ids.ProcID(i)
+		m := c.Metrics(p)
+		var sent int64
+		for k := 0; k < 24; k++ {
+			sent += m.MsgsSent[k]
+		}
+		rec, gather, replay := "-", "-", "-"
+		if tr := m.CurrentRecovery(); tr != nil && tr.ReplayedAt != 0 {
+			rec = metrics.FmtDuration(time.Duration(tr.ReplayedAt - tr.CrashedAt))
+			gather = metrics.FmtDuration(time.Duration(tr.GatheredAt - tr.RestoredAt))
+			replay = metrics.FmtDuration(time.Duration(tr.ReplayedAt - tr.GatheredAt))
+		}
+		fmt.Printf("%-5s %-10d %-9d %-9s %-9s %-10s %-10s %-9s\n",
+			p, m.Delivered, sent, metrics.FmtDuration(m.BlockedTotal),
+			metrics.FmtDuration(m.StorageTime), rec, gather, replay)
+	}
+
+	var piggyDets, appMsgs int64
+	for i := 0; i < *n; i++ {
+		m := c.Metrics(ids.ProcID(i))
+		piggyDets += m.PiggybackDets
+		appMsgs += m.MsgsSent[uint8(wire.KindApp)]
+	}
+	if appMsgs > 0 {
+		fmt.Printf("\npiggyback: %.2f determinants per app message\n", float64(piggyDets)/float64(appMsgs))
+	}
+
+	if errs := c.Check(); len(errs) > 0 {
+		fmt.Println("\nINVARIANT VIOLATIONS:")
+		for _, e := range errs {
+			fmt.Println(" -", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nall invariants hold (no orphans, exactly-once, all recoveries complete)")
+}
+
+func parseStyle(s string) (recovery.Style, error) {
+	switch strings.ToLower(s) {
+	case "nonblocking", "new":
+		return recovery.NonBlocking, nil
+	case "blocking":
+		return recovery.Blocking, nil
+	case "manetho":
+		return recovery.Manetho, nil
+	}
+	return 0, fmt.Errorf("unknown style %q", s)
+}
+
+func parseHW(s string) (node.Hardware, error) {
+	switch s {
+	case "1995":
+		return node.Profile1995(), nil
+	case "modern":
+		return node.ProfileModern(), nil
+	}
+	return node.Hardware{}, fmt.Errorf("unknown hardware profile %q", s)
+}
+
+func parseApp(s string) (workload.Factory, error) {
+	switch strings.ToLower(s) {
+	case "gossip":
+		return workload.NewRandomPeer(1, 1_000_000, 256, int64(time.Millisecond)), nil
+	case "ring":
+		return workload.NewTokenRing(1_000_000, 256, int64(time.Millisecond)), nil
+	case "clientserver":
+		return workload.NewClientServer(1_000_000, 256, int64(time.Millisecond)), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", s)
+}
+
+func parseCrashes(s string, n int) (failure.Plan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var plan failure.Plan
+	for _, part := range strings.Split(s, ",") {
+		at, pid, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad crash spec %q (want time:pid)", part)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil {
+			return nil, fmt.Errorf("bad crash time %q: %w", at, err)
+		}
+		p, err := strconv.Atoi(pid)
+		if err != nil || p < 0 || p >= n {
+			return nil, fmt.Errorf("bad crash pid %q", pid)
+		}
+		plan = append(plan, failure.Crash{At: d, Proc: ids.ProcID(p)})
+	}
+	return plan, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fblsim:", err)
+	os.Exit(2)
+}

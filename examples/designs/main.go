@@ -1,0 +1,24 @@
+// Designs compares the three recovery design families the paper's related
+// work discusses, on the same failure: the FBL protocol family with the
+// paper's non-blocking recovery, coordinated checkpointing with global
+// rollback (Chandy–Lamport), and optimistic message logging with orphan
+// cascades (Strom–Yemini style).
+//
+// It prints experiments D9 and D10 from the evaluation suite — the whole
+// design-space argument of the paper's §6 in two tables.
+package main
+
+import (
+	"fmt"
+
+	"rollrec"
+)
+
+func main() {
+	fmt.Println("one crash, eight processes, 1995 hardware — three recovery designs:")
+	fmt.Println()
+	fmt.Println(rollrec.D9(1).String())
+	fmt.Println(rollrec.D10(1).String())
+	fmt.Println("logging confines the failure to the failed process; every other design")
+	fmt.Println("makes survivors pay — with stalls, lost work, or orphaned state.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: run a four-process token ring under the Family-Based Logging
+// protocol, kill a process mid-computation, and watch the paper's
+// non-blocking recovery algorithm bring it back without disturbing anyone.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rollrec"
+)
+
+func main() {
+	cfg := rollrec.Config{
+		N:               4,
+		F:               2, // tolerate two overlapping failures
+		Seed:            1,
+		Style:           rollrec.NonBlocking,
+		App:             rollrec.TokenRing(4000, 64, int64(500*time.Microsecond)),
+		CheckpointEvery: time.Second,
+		StatePad:        64 << 10,
+	}
+	c := rollrec.NewCluster(cfg)
+
+	// Kill process 2 while the token is flying.
+	c.Crash(2*time.Second, 2)
+
+	if !c.RunUntilDone(time.Second, 5*time.Minute) {
+		fmt.Println("the ring did not finish — something is wrong")
+		return
+	}
+
+	fmt.Println("token ring finished after a mid-computation crash of p2")
+	fmt.Println()
+	for p := rollrec.ProcID(0); p < 4; p++ {
+		m := c.Metrics(p)
+		status := "ran failure-free"
+		if tr := m.CurrentRecovery(); tr != nil {
+			status = fmt.Sprintf("crashed and recovered in %v (gather rounds: %d)",
+				tr.Total().Round(time.Millisecond), tr.Rounds)
+		}
+		fmt.Printf("  %v: delivered %4d messages, blocked %v — %s\n",
+			p, m.Delivered, m.BlockedTotal, status)
+	}
+
+	fmt.Println()
+	if errs := c.Check(); len(errs) == 0 {
+		fmt.Println("invariants: no orphans, exactly-once delivery, all recoveries complete ✓")
+	} else {
+		for _, err := range errs {
+			fmt.Println("violation:", err)
+		}
+	}
+	fmt.Printf("final state digests (all processes agree with the failure-free run): %x\n", c.Digests())
+}

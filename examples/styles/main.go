@@ -1,0 +1,57 @@
+// Styles reruns the paper's argument in miniature: the same overlapping-
+// failure schedule under the three recovery algorithms — the paper's new
+// non-blocking algorithm, the classic blocking baseline, and Manetho-style
+// synchronous-logging recovery — and prints what each costs the processes
+// that did NOT fail.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rollrec"
+)
+
+func main() {
+	fmt.Println("n=8, f=2, 1995 hardware; p3 crashes at t=10s, p5 crashes during p3's recovery")
+	fmt.Println()
+	fmt.Printf("%-12s  %-14s  %-14s  %-18s\n", "algorithm", "p3 recovery", "p5 recovery", "live blocked (mean)")
+
+	for _, style := range []rollrec.Style{rollrec.NonBlocking, rollrec.Blocking, rollrec.Manetho} {
+		c := rollrec.NewCluster(rollrec.Config{
+			N:               8,
+			F:               2,
+			Seed:            1,
+			Style:           style,
+			App:             rollrec.Gossip(1, 1_000_000, 256, int64(time.Millisecond)),
+			CheckpointEvery: rollrec.DefaultCheckpointEvery,
+			StatePad:        1 << 20,
+		})
+		c.Crash(10*time.Second, 3)
+		c.Crash(14100*time.Millisecond, 5) // mid-gather
+		c.Run(40 * time.Second)
+		if errs := c.Check(); len(errs) > 0 {
+			fmt.Println("violation:", errs[0])
+			return
+		}
+
+		var blocked time.Duration
+		lives := 0
+		for p := rollrec.ProcID(0); p < 8; p++ {
+			if p == 3 || p == 5 {
+				continue
+			}
+			blocked += c.Metrics(p).BlockedTotal
+			lives++
+		}
+		fmt.Printf("%-12s  %-14v  %-14v  %-18v\n",
+			style,
+			c.Metrics(3).CurrentRecovery().Total().Round(10*time.Millisecond),
+			c.Metrics(5).CurrentRecovery().Total().Round(10*time.Millisecond),
+			(blocked / time.Duration(lives)).Round(time.Millisecond))
+	}
+
+	fmt.Println()
+	fmt.Println("the failed processes recover in the same time either way; the difference is")
+	fmt.Println("what recovery does to everyone else — the paper's thesis.")
+}

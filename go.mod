@@ -1,0 +1,3 @@
+module rollrec
+
+go 1.22

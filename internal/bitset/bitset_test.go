@@ -1,0 +1,240 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsEmpty(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatalf("zero value not empty: count=%d", s.Count())
+	}
+	if s.Contains(0) || s.Contains(100) {
+		t.Fatal("zero value contains elements")
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	var s Set
+	elems := []int{0, 1, 63, 64, 65, 127, 128, 500}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	for _, e := range elems {
+		if !s.Contains(e) {
+			t.Errorf("missing %d after Add", e)
+		}
+	}
+	if got := s.Count(); got != len(elems) {
+		t.Fatalf("Count = %d, want %d", got, len(elems))
+	}
+	for _, e := range elems {
+		s.Remove(e)
+		if s.Contains(e) {
+			t.Errorf("still contains %d after Remove", e)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("set not empty after removing everything")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	var s Set
+	s.Add(7)
+	s.Add(7)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after double add, want 1", s.Count())
+	}
+}
+
+func TestNegativeIgnored(t *testing.T) {
+	var s Set
+	s.Add(-1)
+	s.Remove(-5)
+	if !s.Empty() || s.Contains(-1) {
+		t.Fatal("negative elements must be ignored")
+	}
+}
+
+func TestUnionAndSubtract(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3, 70})
+	b := FromSlice([]int{3, 4, 200})
+	a.Union(b)
+	want := []int{1, 2, 3, 4, 70, 200}
+	got := a.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("union elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union elems = %v, want %v", got, want)
+		}
+	}
+	a.Subtract(b)
+	if a.Contains(3) || a.Contains(4) || a.Contains(200) {
+		t.Fatalf("subtract left elements: %v", a.Elems())
+	}
+	if !a.Contains(1) || !a.Contains(70) {
+		t.Fatalf("subtract removed too much: %v", a.Elems())
+	}
+}
+
+func TestEqualIgnoresCapacity(t *testing.T) {
+	a := New(1000)
+	var b Set
+	a.Add(3)
+	b.Add(3)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("sets with same elements but different capacity must be Equal")
+	}
+	b.Add(999)
+	if a.Equal(b) {
+		t.Fatal("different sets reported Equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	c := a.Clone()
+	c.Add(3)
+	if a.Contains(3) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromSlice([]int{1, 65})
+	b := FromSlice([]int{65})
+	c := FromSlice([]int{2, 66})
+	if !a.Intersects(b) {
+		t.Fatal("a and b share 65")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a and c are disjoint")
+	}
+	var empty Set
+	if a.Intersects(empty) || empty.Intersects(a) {
+		t.Fatal("empty set intersects nothing")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	a := FromSlice([]int{0, 63, 64, 300})
+	b := FromWords(a.Words())
+	if !a.Equal(b) {
+		t.Fatalf("round trip mismatch: %v vs %v", a, b)
+	}
+	// Trailing zero words must be trimmed.
+	s := New(1024)
+	s.Add(1)
+	if got := len(s.Words()); got != 1 {
+		t.Fatalf("Words() kept %d words, want 1", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice([]int{2, 0, 65})
+	if got := s.String(); got != "{0,2,65}" {
+		t.Fatalf("String = %q", got)
+	}
+	var e Set
+	if got := e.String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// normalize keeps quick-generated elements small and non-negative so the
+// properties exercise word boundaries without huge allocations.
+func normalize(raw []uint16) []int {
+	out := make([]int, len(raw))
+	for i, v := range raw {
+		out[i] = int(v % 300)
+	}
+	return out
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a1 := FromSlice(normalize(xs))
+		b1 := FromSlice(normalize(ys))
+		a2 := b1.Clone()
+		b2 := a1.Clone()
+		a1.Union(b1)
+		a2.Union(b2)
+		return a1.Equal(a2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionIdempotent(t *testing.T) {
+	f := func(xs []uint16) bool {
+		a := FromSlice(normalize(xs))
+		b := a.Clone()
+		a.Union(b)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionSupersets(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		ex, ey := normalize(xs), normalize(ys)
+		a := FromSlice(ex)
+		a.Union(FromSlice(ey))
+		for _, e := range ex {
+			if !a.Contains(e) {
+				return false
+			}
+		}
+		for _, e := range ey {
+			if !a.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountMatchesElems(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := FromSlice(normalize(xs))
+		return s.Count() == len(s.Elems())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWordsRoundTrip(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := FromSlice(normalize(xs))
+		return FromWords(s.Words()).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(64)
+	c := New(64)
+	for i := 0; i < 32; i++ {
+		a.Add(rng.Intn(64))
+		c.Add(rng.Intn(64))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Union(c)
+	}
+}

@@ -1,0 +1,318 @@
+// Package cluster wires n FBL protocol processes, their workload, a crash
+// plan, and a runtime together, and checks the cross-process correctness
+// invariants the paper's proofs promise (§4): safety (no orphans),
+// liveness (every recovery completes), and exactly-once delivery.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rollrec/internal/failure"
+	"rollrec/internal/fbl"
+	"rollrec/internal/ids"
+	"rollrec/internal/metrics"
+	"rollrec/internal/node"
+	"rollrec/internal/recovery"
+	"rollrec/internal/sim"
+	"rollrec/internal/workload"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// N is the number of application processes (2..64).
+	N int
+	// F is the failure budget; F >= N selects the f = n instance.
+	F int
+	// Seed drives all randomness.
+	Seed int64
+	// HW is the hardware cost model (defaults to Profile1995).
+	HW node.Hardware
+	// Style selects the recovery algorithm variant.
+	Style recovery.Style
+	// App builds each process's application.
+	App workload.Factory
+	// CheckpointEvery is the periodic checkpoint interval.
+	CheckpointEvery time.Duration
+	// StatePad models the process image size (bytes added per checkpoint).
+	StatePad int
+	// Trace, if non-nil, receives event trace lines.
+	Trace io.Writer
+}
+
+// maxProcs bounds the cluster size (holder sets are single-word in the hot
+// path; see DESIGN.md).
+const maxProcs = 64
+
+type sendInfo struct {
+	to   ids.ProcID
+	hash uint64
+}
+
+type deliverInfo struct {
+	msg  ids.MsgID
+	hash uint64
+}
+
+// Cluster is a running simulation plus its invariant-checking observers.
+type Cluster struct {
+	cfg Config
+	K   *sim.Kernel
+
+	// Harness-side timelines (survive crashes; truncated on OnLive).
+	sends      []map[ids.SSN]sendInfo    // per sender: ssn → send record
+	deliveries []map[ids.RSN]deliverInfo // per receiver: rsn → delivery
+	seen       []map[ids.MsgID]ids.RSN   // per receiver: fast duplicate check
+	violations []string
+	crashes    int
+	liveAgain  int
+}
+
+// New builds and boots a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.N < 2 || cfg.N > maxProcs {
+		panic(fmt.Sprintf("cluster: n=%d out of range [2,%d]", cfg.N, maxProcs))
+	}
+	if cfg.F < 1 {
+		cfg.F = 1
+	}
+	if cfg.HW == (node.Hardware{}) {
+		cfg.HW = node.Profile1995()
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		sends:      make([]map[ids.SSN]sendInfo, cfg.N),
+		deliveries: make([]map[ids.RSN]deliverInfo, cfg.N),
+		seen:       make([]map[ids.MsgID]ids.RSN, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.sends[i] = make(map[ids.SSN]sendInfo)
+		c.deliveries[i] = make(map[ids.RSN]deliverInfo)
+		c.seen[i] = make(map[ids.MsgID]ids.RSN)
+	}
+
+	c.K = sim.New(sim.Config{Seed: cfg.Seed, HW: cfg.HW, Trace: cfg.Trace})
+	par := fbl.Params{
+		N:               cfg.N,
+		F:               cfg.F,
+		App:             cfg.App,
+		Style:           cfg.Style,
+		CheckpointEvery: cfg.CheckpointEvery,
+		StatePad:        cfg.StatePad,
+		HeartbeatEvery:  cfg.HW.HeartbeatEvery,
+		SuspectAfter:    cfg.HW.SuspectAfter,
+		Hooks: fbl.Hooks{
+			OnSend:    c.onSend,
+			OnDeliver: c.onDeliver,
+			OnLive:    c.onLive,
+		},
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.K.AddNode(ids.ProcID(i), fbl.New(par))
+	}
+	if cfg.F >= cfg.N {
+		c.K.AddNode(ids.StorageProc, fbl.NewStorageNode(cfg.N, cfg.F))
+	}
+	c.K.Boot()
+	return c
+}
+
+// onSend maintains the sender's current-timeline send history: a send at
+// ssn k supersedes any previously recorded sends at ssn >= k (they belonged
+// to a rolled-back execution).
+func (c *Cluster) onSend(self ids.ProcID, id ids.MsgID, to ids.ProcID, hash uint64) {
+	tl := c.sends[self]
+	if old, ok := tl[id.SSN]; ok && (old.to != to || old.hash != hash) {
+		// Divergent regeneration: drop the stale tail beyond this point.
+		for ssn := range tl {
+			if ssn > id.SSN {
+				delete(tl, ssn)
+			}
+		}
+	}
+	tl[id.SSN] = sendInfo{to: to, hash: hash}
+}
+
+// onDeliver maintains the receiver's current-timeline delivery history and
+// checks exactly-once within a timeline.
+func (c *Cluster) onDeliver(self ids.ProcID, id ids.MsgID, from ids.ProcID, rsn ids.RSN, hash uint64) {
+	tl := c.deliveries[self]
+	if old, ok := tl[rsn]; ok && old.msg != id {
+		// A new execution reused this rsn: everything beyond belonged to
+		// the rolled-back timeline.
+		for r := range tl {
+			if r > rsn {
+				sn := c.seen[self]
+				delete(sn, tl[r].msg)
+				delete(tl, r)
+			}
+		}
+		delete(c.seen[self], old.msg)
+	}
+	if prevRSN, dup := c.seen[self][id]; dup && prevRSN != rsn {
+		c.violations = append(c.violations, fmt.Sprintf(
+			"exactly-once: %v delivered %v at rsn %d and again at rsn %d", self, id, prevRSN, rsn))
+	}
+	if old, ok := tl[rsn]; ok && old.msg == id && old.hash != hash {
+		c.violations = append(c.violations, fmt.Sprintf(
+			"replay fidelity: %v re-delivered %v at rsn %d with different content", self, id, rsn))
+	}
+	tl[rsn] = deliverInfo{msg: id, hash: hash}
+	c.seen[self][id] = rsn
+}
+
+// onLive truncates the harness timelines to the surviving frontier: any
+// send/delivery beyond the post-replay counters was rolled back for good.
+func (c *Cluster) onLive(self ids.ProcID, inc ids.Incarnation, ssn ids.SSN, rsn ids.RSN) {
+	c.liveAgain++
+	for s := range c.sends[self] {
+		if s > ssn {
+			delete(c.sends[self], s)
+		}
+	}
+	for r := range c.deliveries[self] {
+		if r > rsn {
+			delete(c.seen[self], c.deliveries[self][r].msg)
+			delete(c.deliveries[self], r)
+		}
+	}
+}
+
+// Run advances virtual time to the given instant since start.
+func (c *Cluster) Run(until time.Duration) { c.K.Run(until) }
+
+// Crash schedules a crash of process p at virtual time at.
+func (c *Cluster) Crash(at time.Duration, p ids.ProcID) {
+	c.crashes++
+	c.K.CrashAt(at, p)
+}
+
+// ApplyPlan schedules a whole crash plan.
+func (c *Cluster) ApplyPlan(plan failure.Plan) {
+	for _, cr := range plan.Sorted() {
+		c.Crash(cr.At, cr.Proc)
+	}
+}
+
+// Proc returns the protocol instance at p, or nil while p is down.
+func (c *Cluster) Proc(p ids.ProcID) *fbl.Process {
+	if pr, ok := c.K.ProcOf(p).(*fbl.Process); ok {
+		return pr
+	}
+	return nil
+}
+
+// Metrics returns process p's accumulator.
+func (c *Cluster) Metrics(p ids.ProcID) *metrics.Proc { return c.K.Metrics(p) }
+
+// App returns the application hosted at p (nil while down).
+func (c *Cluster) App(p ids.ProcID) workload.App {
+	if pr := c.Proc(p); pr != nil {
+		return pr.App()
+	}
+	return nil
+}
+
+// AllDone reports whether every application says its share of the workload
+// completed (down processes count as not done).
+func (c *Cluster) AllDone() bool {
+	for i := 0; i < c.cfg.N; i++ {
+		a := c.App(ids.ProcID(i))
+		if a == nil || !a.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Settled reports whether the workload finished AND every scheduled crash
+// has completed its recovery.
+func (c *Cluster) Settled() bool {
+	return c.AllDone() && c.liveAgain >= c.crashes
+}
+
+// RunUntilDone advances time in steps until the cluster is settled (see
+// Settled) or the horizon passes.
+func (c *Cluster) RunUntilDone(step, horizon time.Duration) bool {
+	for t := step; t <= horizon; t += step {
+		c.Run(t)
+		if c.Settled() {
+			return true
+		}
+	}
+	return c.Settled()
+}
+
+// Check verifies the end-state invariants and returns every violation
+// found (nil means the run was consistent).
+func (c *Cluster) Check() []error {
+	var errs []error
+	for _, v := range c.violations {
+		errs = append(errs, fmt.Errorf("%s", v))
+	}
+
+	// Liveness (§4.2/§4.4): every crashed process must be live again.
+	if c.liveAgain < c.crashes {
+		errs = append(errs, fmt.Errorf("liveness: %d crashes but only %d recoveries completed",
+			c.crashes, c.liveAgain))
+	}
+	for i := 0; i < c.cfg.N; i++ {
+		p := c.Proc(ids.ProcID(i))
+		if p == nil {
+			errs = append(errs, fmt.Errorf("liveness: %v still down", ids.ProcID(i)))
+			continue
+		}
+		if p.Mode() != fbl.ModeLive {
+			errs = append(errs, fmt.Errorf("liveness: %v stuck in mode %v", ids.ProcID(i), p.Mode()))
+		}
+	}
+
+	// Safety (§4.3): every delivery on a surviving timeline must match a
+	// send on the sender's surviving timeline — otherwise the receiver is
+	// an orphan of a rolled-back execution.
+	for recv := 0; recv < c.cfg.N; recv++ {
+		for rsn, d := range c.deliveries[recv] {
+			s := d.msg.Sender
+			rec, ok := c.sends[s][d.msg.SSN]
+			if !ok {
+				errs = append(errs, fmt.Errorf(
+					"orphan: %v delivered %v (rsn %d) but %v's surviving execution never sent it",
+					ids.ProcID(recv), d.msg, rsn, s))
+				continue
+			}
+			if rec.to != ids.ProcID(recv) || rec.hash != d.hash {
+				errs = append(errs, fmt.Errorf(
+					"orphan: %v delivered %v (rsn %d) but %v's surviving send differs (to %v)",
+					ids.ProcID(recv), d.msg, rsn, s, rec.to))
+			}
+			if p := c.Proc(s); p != nil && d.msg.SSN > p.SSN() {
+				errs = append(errs, fmt.Errorf(
+					"orphan: %v delivered %v but %v's execution only reached ssn %d",
+					ids.ProcID(recv), d.msg, s, p.SSN()))
+			}
+		}
+	}
+
+	// Non-intrusion: the paper's algorithm never blocks live processes.
+	if c.cfg.Style == recovery.NonBlocking {
+		for i := 0; i < c.cfg.N; i++ {
+			if b := c.Metrics(ids.ProcID(i)).BlockedTotal; b != 0 {
+				errs = append(errs, fmt.Errorf(
+					"intrusion: nonblocking style blocked %v for %v", ids.ProcID(i), b))
+			}
+		}
+	}
+	return errs
+}
+
+// Digests returns each live application's state fingerprint.
+func (c *Cluster) Digests() []uint64 {
+	out := make([]uint64, c.cfg.N)
+	for i := 0; i < c.cfg.N; i++ {
+		if a := c.App(ids.ProcID(i)); a != nil {
+			out[i] = a.Digest()
+		}
+	}
+	return out
+}

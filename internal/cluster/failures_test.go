@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rollrec/internal/ids"
+	"rollrec/internal/recovery"
+	"rollrec/internal/workload"
+)
+
+// slowRing keeps the token circulating for several virtual seconds so
+// crashes land mid-computation.
+func slowRingConfig(style recovery.Style, seed int64, n, f int) Config {
+	return Config{
+		N:               n,
+		F:               f,
+		Seed:            seed,
+		HW:              fastHW(),
+		Style:           style,
+		App:             workload.NewTokenRing(2000, 64, int64(2*time.Millisecond)),
+		CheckpointEvery: 400 * time.Millisecond,
+		StatePad:        4 << 10,
+	}
+}
+
+func settle(t *testing.T, c *Cluster, horizon time.Duration) {
+	t.Helper()
+	if !c.RunUntilDone(time.Second, horizon) {
+		for i := 0; i < 4; i++ {
+			if p := c.Proc(ids.ProcID(i)); p != nil {
+				t.Logf("p%d mode=%v rsn=%d", i, p.Mode(), p.RSN())
+			} else {
+				t.Logf("p%d down", i)
+			}
+		}
+		t.Fatal("cluster did not settle before horizon")
+	}
+}
+
+func TestMidComputationCrash(t *testing.T) {
+	for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking, recovery.Manetho} {
+		t.Run(style.String(), func(t *testing.T) {
+			golden := New(slowRingConfig(recovery.NonBlocking, 21, 4, 2))
+			settle(t, golden, 120*time.Second)
+
+			c := New(slowRingConfig(style, 21, 4, 2))
+			c.Crash(1500*time.Millisecond, 2) // token is mid-flight
+			settle(t, c, 240*time.Second)
+			mustCheck(t, c)
+			g, got := golden.Digests(), c.Digests()
+			for i := range g {
+				if g[i] != got[i] {
+					t.Errorf("process %d digest %#x, want golden %#x", i, got[i], g[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCrashTokenHolder(t *testing.T) {
+	// Crash every process in turn at a moment it plausibly holds the token.
+	for victim := ids.ProcID(0); victim < 4; victim++ {
+		t.Run(fmt.Sprintf("victim%d", victim), func(t *testing.T) {
+			golden := New(slowRingConfig(recovery.NonBlocking, 33, 4, 2))
+			settle(t, golden, 120*time.Second)
+
+			c := New(slowRingConfig(recovery.NonBlocking, 33, 4, 2))
+			c.Crash(time.Second+time.Duration(victim)*2*time.Millisecond, victim)
+			settle(t, c, 240*time.Second)
+			mustCheck(t, c)
+			g, got := golden.Digests(), c.Digests()
+			for i := range g {
+				if g[i] != got[i] {
+					t.Errorf("process %d digest %#x, want golden %#x", i, got[i], g[i])
+				}
+			}
+		})
+	}
+}
+
+func TestOverlappingFailures(t *testing.T) {
+	// A second process fails while the first is still recovering — the
+	// paper's second experiment, and the scenario its new algorithm's
+	// gather-restart (step 5 → goto 4) exists for.
+	for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking} {
+		t.Run(style.String(), func(t *testing.T) {
+			golden := New(slowRingConfig(recovery.NonBlocking, 44, 4, 2))
+			settle(t, golden, 120*time.Second)
+
+			c := New(slowRingConfig(style, 44, 4, 2))
+			c.Crash(1200*time.Millisecond, 1)
+			// fastHW: watchdog 300ms + restart 50ms + restore ≈ 360ms, so
+			// the gather is in flight around 1.6s; crash a live process.
+			c.Crash(1600*time.Millisecond, 3)
+			settle(t, c, 240*time.Second)
+			mustCheck(t, c)
+			g, got := golden.Digests(), c.Digests()
+			for i := range g {
+				if g[i] != got[i] {
+					t.Errorf("process %d digest %#x, want golden %#x", i, got[i], g[i])
+				}
+			}
+			// Both recoveries must have completed.
+			for _, p := range []ids.ProcID{1, 3} {
+				tr := c.Metrics(p).CurrentRecovery()
+				if tr == nil || tr.ReplayedAt == 0 {
+					t.Errorf("%v has no completed recovery trace", p)
+				}
+			}
+		})
+	}
+}
+
+func TestSimultaneousFailures(t *testing.T) {
+	golden := New(slowRingConfig(recovery.NonBlocking, 55, 4, 2))
+	settle(t, golden, 120*time.Second)
+
+	c := New(slowRingConfig(recovery.NonBlocking, 55, 4, 2))
+	c.Crash(1300*time.Millisecond, 0)
+	c.Crash(1300*time.Millisecond, 2)
+	settle(t, c, 240*time.Second)
+	mustCheck(t, c)
+	g, got := golden.Digests(), c.Digests()
+	for i := range g {
+		if g[i] != got[i] {
+			t.Errorf("process %d digest %#x, want golden %#x", i, got[i], g[i])
+		}
+	}
+}
+
+func TestManethoInstance(t *testing.T) {
+	// f = n: determinants are stable only at the storage pseudo-process.
+	cfg := slowRingConfig(recovery.NonBlocking, 66, 4, 4)
+	golden := New(cfg)
+	settle(t, golden, 120*time.Second)
+
+	c := New(slowRingConfig(recovery.NonBlocking, 66, 4, 4))
+	c.Crash(1500*time.Millisecond, 1)
+	settle(t, c, 240*time.Second)
+	mustCheck(t, c)
+	g, got := golden.Digests(), c.Digests()
+	for i := range g {
+		if g[i] != got[i] {
+			t.Errorf("process %d digest %#x, want golden %#x", i, got[i], g[i])
+		}
+	}
+	// The storage process must have accumulated determinants.
+	if c.Metrics(ids.StorageProc).MsgsRecv[3] == 0 { // KindDetsToStorage
+		t.Error("storage pseudo-process never received determinants")
+	}
+}
+
+func TestGossipWithCrashes(t *testing.T) {
+	cfg := Config{
+		N:               6,
+		F:               2,
+		Seed:            77,
+		HW:              fastHW(),
+		Style:           recovery.NonBlocking,
+		App:             workload.NewRandomPeer(3, 400, 64, int64(time.Millisecond)),
+		CheckpointEvery: 400 * time.Millisecond,
+		StatePad:        4 << 10,
+	}
+	c := New(cfg)
+	c.Crash(1200*time.Millisecond, 4)
+	c.Crash(2500*time.Millisecond, 0)
+	c.Run(30 * time.Second)
+	mustCheck(t, c)
+	var handled uint64
+	for i := 0; i < 6; i++ {
+		if a, ok := c.App(ids.ProcID(i)).(*workload.RandomPeer); ok {
+			handled += a.Handled()
+		}
+	}
+	if handled == 0 {
+		t.Fatal("gossip made no progress")
+	}
+}
+
+func TestClientServerWithServerCrash(t *testing.T) {
+	cfg := Config{
+		N:               5,
+		F:               2,
+		Seed:            88,
+		HW:              fastHW(),
+		Style:           recovery.NonBlocking,
+		App:             workload.NewClientServer(300, 64, int64(time.Millisecond)),
+		CheckpointEvery: 400 * time.Millisecond,
+		StatePad:        4 << 10,
+	}
+	golden := New(cfg)
+	settle(t, golden, 240*time.Second)
+	goldenApplied := golden.App(0).(*workload.ClientServer).Applied()
+
+	c := New(Config{
+		N: 5, F: 2, Seed: 88, HW: fastHW(), Style: recovery.NonBlocking,
+		App:             workload.NewClientServer(300, 64, int64(time.Millisecond)),
+		CheckpointEvery: 400 * time.Millisecond,
+		StatePad:        4 << 10,
+	})
+	c.Crash(1500*time.Millisecond, 0) // the server itself
+	settle(t, c, 480*time.Second)
+	mustCheck(t, c)
+	if got := c.App(0).(*workload.ClientServer).Applied(); got != goldenApplied {
+		t.Errorf("server applied %d requests, golden run applied %d", got, goldenApplied)
+	}
+}
+
+func TestClientServerWithClientCrash(t *testing.T) {
+	c := New(Config{
+		N: 5, F: 2, Seed: 99, HW: fastHW(), Style: recovery.NonBlocking,
+		App:             workload.NewClientServer(300, 64, int64(time.Millisecond)),
+		CheckpointEvery: 400 * time.Millisecond,
+		StatePad:        4 << 10,
+	})
+	c.Crash(1500*time.Millisecond, 2)
+	settle(t, c, 480*time.Second)
+	mustCheck(t, c)
+	if got := c.App(0).(*workload.ClientServer).Applied(); got != 300*4 {
+		t.Errorf("server applied %d, want %d", got, 300*4)
+	}
+}

@@ -1,0 +1,417 @@
+// Package coord implements the classic alternative to log-based recovery:
+// coordinated checkpointing with Chandy–Lamport snapshots [6] and global
+// rollback, the style of protocol the paper's related work contrasts FBL
+// against.
+//
+// Failure-free operation is cheap — no logging, no piggybacking, only a
+// periodic marker flood and a stable-storage write per process per
+// snapshot. The price appears at failure time: there is no way to replay a
+// single process, so EVERY process rolls back to the last committed global
+// snapshot. The work since that snapshot is lost cluster-wide, and every
+// live process stalls for a stable-storage restore — exactly the intrusion
+// the paper's recovery algorithm exists to avoid. Experiment D9 puts the
+// two designs side by side.
+//
+// Protocol sketch:
+//
+//   - Process 0 initiates snapshot s on a timer: it records its local
+//     state, then sends a marker on every channel and starts recording
+//     in-flight messages per incoming channel.
+//   - On its first marker for s, a process records its state, relays
+//     markers, and records each incoming channel until that channel's
+//     marker arrives (FIFO channels make this exact).
+//   - A process whose every channel is closed sends its snapshot to stable
+//     storage and acknowledges the initiator; when all acknowledge, the
+//     initiator broadcasts a commit, and s becomes the recovery line.
+//   - Any crash: the restarted process reads the committed line and
+//     broadcasts a rollback; everyone restores snapshot s (paying the
+//     storage read), bumps the epoch (stale frames are dropped), and
+//     re-injects the recorded channel messages.
+package coord
+
+import (
+	"fmt"
+	"time"
+
+	"rollrec/internal/ids"
+	"rollrec/internal/node"
+	"rollrec/internal/wire"
+	"rollrec/internal/workload"
+)
+
+// Params configures one coordinated-checkpointing process.
+type Params struct {
+	// N is the number of application processes.
+	N int
+	// App builds the hosted application.
+	App workload.Factory
+	// SnapshotEvery is the global snapshot period (driven by process 0).
+	SnapshotEvery time.Duration
+	// StatePad models the process image size per snapshot.
+	StatePad int
+	// HeartbeatEvery / SuspectAfter drive failure detection (any suspected
+	// peer triggers nothing here — the watchdog restart of the crashed
+	// process is what initiates the rollback).
+	HeartbeatEvery time.Duration
+	// Hooks observe deliveries for the test harness.
+	Hooks Hooks
+}
+
+// Hooks are optional observation callbacks.
+type Hooks struct {
+	// OnDeliver fires for every application delivery.
+	OnDeliver func(self ids.ProcID, from ids.ProcID, epoch uint32, dseq uint64)
+	// OnRollback fires when a process completes a rollback; lost is the
+	// number of deliveries discarded with the abandoned execution.
+	OnRollback func(self ids.ProcID, epoch uint32, lost int64)
+}
+
+// Stable-store keys.
+const (
+	keySnapPrefix = "clsnap-"
+	keyCommitted  = "clcommitted"
+)
+
+// Process is one coordinated-checkpointing protocol instance.
+type Process struct {
+	env node.Env
+	par Params
+	n   int
+
+	app     workload.App
+	started bool
+	epoch   uint32 // rollback epoch; frames from older epochs are stale
+
+	// Per-pair FIFO bookkeeping (same scheme as the FBL engine).
+	dseqOut []uint64
+	expDseq []uint64
+	oooBuf  []map[uint64]*wire.Envelope
+
+	delivered int64 // deliveries in the current epoch (for lost-work metrics)
+	sinceSnap int64 // deliveries since the last committed snapshot
+
+	// Chandy–Lamport state for the snapshot in progress.
+	snapActive       bool
+	snapID           uint32
+	recording        []bool
+	recorded         [][]recordedMsg
+	openChans        int
+	localState       []byte
+	initiatorWaiting map[ids.ProcID]bool // initiator only
+
+	committedID uint32
+
+	// Rollback-in-progress state: frames from the new epoch that arrive
+	// before this process has finished restoring are buffered, otherwise
+	// they would be consumed into the doomed pre-rollback state and lost.
+	rollingBack bool
+	futureBuf   []*wire.Envelope
+}
+
+type recordedMsg struct {
+	from    ids.ProcID
+	ssn     ids.SSN
+	dseq    uint64
+	payload []byte
+}
+
+var _ node.Process = (*Process)(nil)
+
+// New returns a node.Factory for coordinated-checkpointing processes.
+func New(par Params) node.Factory {
+	if par.HeartbeatEvery <= 0 {
+		par.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if par.SnapshotEvery <= 0 {
+		par.SnapshotEvery = 2 * time.Second
+	}
+	return func() node.Process { return &Process{par: par} }
+}
+
+// Boot implements node.Process.
+func (p *Process) Boot(env node.Env, restart bool) {
+	p.env = env
+	p.n = env.N()
+	p.dseqOut = make([]uint64, p.n)
+	p.expDseq = make([]uint64, p.n)
+	p.oooBuf = make([]map[uint64]*wire.Envelope, p.n)
+	for i := range p.oooBuf {
+		p.oooBuf[i] = make(map[uint64]*wire.Envelope)
+	}
+	p.app = p.par.App(env.ID(), p.n)
+
+	if env.ID() == 0 {
+		var tick func()
+		tick = func() {
+			p.startSnapshot()
+			p.env.After(p.par.SnapshotEvery, tick)
+		}
+		env.After(p.par.SnapshotEvery, tick)
+	}
+
+	if !restart {
+		p.epoch = 1
+		p.started = true
+		p.app.Start(appCtx{p})
+		return
+	}
+	// Crash recovery: read the committed line and order a global rollback.
+	p.rollingBack = true
+	env.ReadStable(keyCommitted, func(data []byte, ok bool) {
+		if tr := env.Metrics().CurrentRecovery(); tr != nil {
+			tr.RestoredAt = env.Now()
+		}
+		if !ok {
+			// Crashed before any committed snapshot: the whole cluster
+			// restarts from scratch.
+			p.epoch = 2
+			p.persistEpoch()
+			p.broadcastRollback(0)
+			p.restartFromScratch()
+			return
+		}
+		id, epoch := parseCommitted(data)
+		p.committedID = id
+		p.epoch = epoch + 1
+		p.persistEpoch()
+		p.broadcastRollback(id)
+		p.restoreSnapshot(id)
+	})
+}
+
+// persistEpoch durably records the current epoch alongside the committed
+// snapshot id, so a later crash resumes from the right epoch.
+func (p *Process) persistEpoch() {
+	w := wire.NewWriter(8)
+	w.U32(p.committedID)
+	w.U32(p.epoch)
+	p.env.WriteStable(keyCommitted, w.Frame(), nil)
+}
+
+func (p *Process) broadcastRollback(snapID uint32) {
+	for q := 0; q < p.n; q++ {
+		if ids.ProcID(q) == p.env.ID() {
+			continue
+		}
+		p.env.Send(ids.ProcID(q), &wire.Envelope{
+			Kind:    wire.KindRollback,
+			FromInc: ids.Incarnation(p.epoch),
+			Round:   snapID,
+		})
+	}
+}
+
+// restartFromScratch rebuilds the initial state (used when no snapshot was
+// ever committed).
+func (p *Process) restartFromScratch() {
+	lost := p.delivered
+	p.resetVolatile()
+	p.app = p.par.App(p.env.ID(), p.n)
+	p.started = true
+	p.app.Start(appCtx{p})
+	p.finishRollback(lost)
+}
+
+func (p *Process) resetVolatile() {
+	p.dseqOut = make([]uint64, p.n)
+	p.expDseq = make([]uint64, p.n)
+	for i := range p.oooBuf {
+		p.oooBuf[i] = make(map[uint64]*wire.Envelope)
+	}
+	p.snapActive = false
+	p.delivered = 0
+	p.sinceSnap = 0
+}
+
+// drainFuture re-delivers frames that arrived for the new epoch while the
+// rollback was in progress.
+func (p *Process) drainFuture() {
+	p.rollingBack = false
+	buf := p.futureBuf
+	p.futureBuf = nil
+	for _, e := range buf {
+		p.Deliver(e)
+	}
+}
+
+func (p *Process) finishRollback(lost int64) {
+	if tr := p.env.Metrics().CurrentRecovery(); tr != nil {
+		tr.GatheredAt = p.env.Now()
+		tr.ReplayedAt = p.env.Now()
+		tr.Incarnation = p.epoch
+	}
+	if p.par.Hooks.OnRollback != nil {
+		p.par.Hooks.OnRollback(p.env.ID(), p.epoch, lost)
+	}
+	p.env.Logf("coord: rolled back to snapshot %d (epoch %d, %d deliveries lost)",
+		p.committedID, p.epoch, lost)
+	p.drainFuture()
+}
+
+// restoreSnapshot reads the per-process state of the committed snapshot and
+// re-injects its recorded channel messages.
+func (p *Process) restoreSnapshot(id uint32) {
+	p.env.ReadStable(fmt.Sprintf("%s%d", keySnapPrefix, id), func(data []byte, ok bool) {
+		if !ok {
+			panic(fmt.Sprintf("coord: %v: committed snapshot %d missing", p.env.ID(), id))
+		}
+		lost := p.delivered
+		p.resetVolatile()
+		recorded := p.decodeSnapshot(data)
+		p.finishRollback(lost)
+		// Re-inject the in-flight messages the snapshot recorded: they are
+		// part of the global state.
+		for _, m := range recorded {
+			p.deliverApp(&wire.Envelope{
+				Kind:    wire.KindApp,
+				From:    m.from,
+				FromInc: ids.Incarnation(p.epoch),
+				SSN:     m.ssn,
+				Dseq:    m.dseq,
+				Payload: m.payload,
+			})
+		}
+	})
+}
+
+// Deliver implements node.Process.
+func (p *Process) Deliver(e *wire.Envelope) {
+	if e.Kind == wire.KindRollback {
+		p.onRollback(e)
+		return
+	}
+	// Frames from a future epoch arriving before our own rollback finishes
+	// must wait: consuming them into the doomed state would lose them.
+	if p.rollingBack || uint32(e.FromInc) > p.epoch {
+		p.futureBuf = append(p.futureBuf, e)
+		return
+	}
+	switch e.Kind {
+	case wire.KindApp:
+		if uint32(e.FromInc) < p.epoch {
+			p.env.Metrics().Stale++
+			return
+		}
+		p.deliverApp(e)
+	case wire.KindMarker:
+		if uint32(e.FromInc) < p.epoch {
+			return
+		}
+		p.onMarker(e)
+	case wire.KindSnapState:
+		p.onSnapState(e)
+	case wire.KindSnapCommit:
+		if uint32(e.FromInc) < p.epoch {
+			return
+		}
+		p.commit(e.Round)
+	case wire.KindHeartbeat:
+		// Liveness only; nothing to do.
+	}
+}
+
+// onRollback makes a live process restore the recovery line: the global
+// rollback every coordinated-checkpointing failure forces.
+func (p *Process) onRollback(e *wire.Envelope) {
+	if uint32(e.FromInc) <= p.epoch || p.rollingBack {
+		return // stale or already rolling back
+	}
+	lost := p.delivered
+	p.epoch = uint32(e.FromInc)
+	p.committedID = e.Round
+	p.rollingBack = true
+	p.persistEpoch()
+	// Live processes also pay: the blocked interval is the stable-storage
+	// restore they are forced through.
+	p.env.Metrics().BlockStart(p.env.Now())
+	if e.Round == 0 {
+		p.env.Metrics().BlockEnd(p.env.Now())
+		p.restartFromScratch()
+		return
+	}
+	p.env.ReadStable(fmt.Sprintf("%s%d", keySnapPrefix, e.Round), func(data []byte, ok bool) {
+		p.env.Metrics().BlockEnd(p.env.Now())
+		if !ok {
+			panic(fmt.Sprintf("coord: %v: snapshot %d missing on rollback", p.env.ID(), e.Round))
+		}
+		p.resetVolatile()
+		recorded := p.decodeSnapshot(data)
+		if p.par.Hooks.OnRollback != nil {
+			p.par.Hooks.OnRollback(p.env.ID(), p.epoch, lost)
+		}
+		p.env.Logf("coord: live rollback to snapshot %d (epoch %d, %d deliveries lost)",
+			p.committedID, p.epoch, lost)
+		p.drainFuture()
+		for _, m := range recorded {
+			p.deliverApp(&wire.Envelope{
+				Kind: wire.KindApp, From: m.from,
+				FromInc: ids.Incarnation(p.epoch),
+				SSN:     m.ssn, Dseq: m.dseq, Payload: m.payload,
+			})
+		}
+	})
+}
+
+// deliverApp is the normal delivery path with per-pair FIFO dedup; during
+// an active snapshot it also records in-flight messages per channel.
+func (p *Process) deliverApp(e *wire.Envelope) {
+	from := int(e.From)
+	if p.snapActive && from >= 0 && from < p.n && p.recording[from] {
+		p.recorded[from] = append(p.recorded[from], recordedMsg{
+			from: e.From, ssn: e.SSN, dseq: e.Dseq,
+			payload: append([]byte(nil), e.Payload...),
+		})
+	}
+	exp := p.expDseq[from]
+	switch {
+	case e.Dseq <= exp:
+		p.env.Metrics().Duplicate++
+		return
+	case e.Dseq > exp+1:
+		p.oooBuf[from][e.Dseq] = e
+		return
+	}
+	p.consume(e)
+	for {
+		next, ok := p.oooBuf[from][p.expDseq[from]+1]
+		if !ok {
+			break
+		}
+		delete(p.oooBuf[from], p.expDseq[from]+1)
+		p.consume(next)
+	}
+}
+
+func (p *Process) consume(e *wire.Envelope) {
+	p.expDseq[e.From] = e.Dseq
+	p.delivered++
+	p.sinceSnap++
+	p.env.Metrics().Delivered++
+	if p.par.Hooks.OnDeliver != nil {
+		p.par.Hooks.OnDeliver(p.env.ID(), e.From, p.epoch, e.Dseq)
+	}
+	p.app.Handle(appCtx{p}, e.From, e.Payload)
+}
+
+// appCtx implements workload.Ctx.
+type appCtx struct{ p *Process }
+
+func (c appCtx) Self() ids.ProcID { return c.p.env.ID() }
+func (c appCtx) N() int           { return c.p.n }
+func (c appCtx) Work(d int64)     { c.p.env.Busy(time.Duration(d)) }
+func (c appCtx) Logf(format string, args ...any) {
+	c.p.env.Logf(format, args...)
+}
+
+// Send transmits an application payload (no logging: this protocol's whole
+// point is that failure-free operation is bare).
+func (c appCtx) Send(to ids.ProcID, payload []byte) {
+	p := c.p
+	p.dseqOut[to]++
+	p.env.Send(to, &wire.Envelope{
+		Kind:    wire.KindApp,
+		FromInc: ids.Incarnation(p.epoch),
+		Dseq:    p.dseqOut[to],
+		Payload: payload,
+	})
+}

@@ -1,0 +1,129 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"rollrec/internal/node"
+	"rollrec/internal/recovery"
+)
+
+func baseInputs(style recovery.Style) Inputs {
+	return Inputs{
+		HW:              node.Profile1995(),
+		N:               8,
+		F:               2,
+		Style:           style,
+		CheckpointBytes: 1 << 20,
+		DepinfoBytes:    8 << 10,
+		ReplayMsgs:      300,
+		ReplayMsgBytes:  300,
+		WorkPerMsg:      time.Millisecond,
+	}
+}
+
+func TestDetectionDominatesOn1995Hardware(t *testing.T) {
+	p := SingleFailure(baseInputs(recovery.NonBlocking))
+	// The paper's argument: detection and storage dwarf communication.
+	if p.DetectRestart < 10*p.Gather {
+		t.Fatalf("detection (%v) must dominate the gather (%v) on the 1995 profile",
+			p.DetectRestart, p.Gather)
+	}
+	if p.Restore < p.Gather {
+		t.Fatalf("restoring 1 MB (%v) must outweigh the gather (%v)", p.Restore, p.Gather)
+	}
+	if p.Total() < 4*time.Second || p.Total() > 7*time.Second {
+		t.Fatalf("total = %v, want the paper's ~5s ballpark", p.Total())
+	}
+}
+
+func TestIntrusionByStyle(t *testing.T) {
+	nb := SingleFailure(baseInputs(recovery.NonBlocking))
+	bl := SingleFailure(baseInputs(recovery.Blocking))
+	ma := SingleFailure(baseInputs(recovery.Manetho))
+	if nb.LiveBlocked != 0 {
+		t.Fatalf("nonblocking intrusion must be zero, got %v", nb.LiveBlocked)
+	}
+	if bl.LiveBlocked <= 0 {
+		t.Fatal("blocking intrusion must be positive")
+	}
+	if ma.LiveBlocked <= bl.LiveBlocked {
+		t.Fatalf("manetho (%v) must exceed blocking (%v): the synchronous write",
+			ma.LiveBlocked, bl.LiveBlocked)
+	}
+	// Blocking intrusion on the 1995 profile lands in the paper's "about
+	// 50 ms" regime.
+	if bl.LiveBlocked < 5*time.Millisecond || bl.LiveBlocked > 200*time.Millisecond {
+		t.Fatalf("blocking intrusion = %v, want tens of ms", bl.LiveBlocked)
+	}
+}
+
+func TestRecoveryTimeIndependentOfStyle(t *testing.T) {
+	nb := SingleFailure(baseInputs(recovery.NonBlocking))
+	bl := SingleFailure(baseInputs(recovery.Blocking))
+	// "The recovering process took the same time to recover under both
+	// algorithms" — the styles differ in who waits, not in how long
+	// recovery takes (Manetho's write sits on the gather path, so it is
+	// exempt from this equality).
+	if nb.Total() != bl.Total() {
+		t.Fatalf("totals differ: %v vs %v", nb.Total(), bl.Total())
+	}
+}
+
+func TestOverlappingStallIsSeconds(t *testing.T) {
+	o := Overlapping(baseInputs(recovery.Blocking))
+	if o.GatherStall < 3*time.Second {
+		t.Fatalf("stall = %v; detection+restore of the second victim is seconds", o.GatherStall)
+	}
+	if o.First.Total() <= o.Second.Total() {
+		t.Fatal("the first victim waits out the second's recovery, so its total is larger")
+	}
+	blocked := LiveBlockedOverlap(baseInputs(recovery.Blocking))
+	if blocked < 3*time.Second {
+		t.Fatalf("blocking intrusion under overlap = %v, want the paper's ~5s window", blocked)
+	}
+	if LiveBlockedOverlap(baseInputs(recovery.NonBlocking)) != 0 {
+		t.Fatal("the new algorithm's intrusion must stay zero under overlap")
+	}
+}
+
+func TestModernHardwareShrinksEverythingButDetection(t *testing.T) {
+	in := baseInputs(recovery.Blocking)
+	in.HW = node.ProfileModern()
+	p := SingleFailure(in)
+	old := SingleFailure(baseInputs(recovery.Blocking))
+	if p.Restore >= old.Restore || p.Gather >= old.Gather {
+		t.Fatal("modern hardware must shrink storage and communication terms")
+	}
+	// The message COUNT is identical — the paper's point that the count
+	// was never the interesting quantity.
+	if p.CtlMsgs != old.CtlMsgs {
+		t.Fatal("control message count is technology-independent")
+	}
+}
+
+func TestGatherScalesWithN(t *testing.T) {
+	small := baseInputs(recovery.NonBlocking)
+	big := baseInputs(recovery.NonBlocking)
+	big.N = 32
+	ps, pb := SingleFailure(small), SingleFailure(big)
+	if pb.Gather <= ps.Gather {
+		t.Fatal("gather must grow with cluster size")
+	}
+	if pb.CtlMsgs <= ps.CtlMsgs {
+		t.Fatal("control messages must grow with cluster size")
+	}
+}
+
+func TestWANMakesCommunicationMatterAgain(t *testing.T) {
+	in := baseInputs(recovery.Blocking)
+	in.HW.Net.Latency = 50 * time.Millisecond
+	p := SingleFailure(in)
+	lan := SingleFailure(baseInputs(recovery.Blocking))
+	if p.Gather <= lan.Gather {
+		t.Fatal("WAN latency must inflate the gather")
+	}
+	if p.LiveBlocked <= lan.LiveBlocked {
+		t.Fatal("WAN latency must inflate the blocking intrusion")
+	}
+}

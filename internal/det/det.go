@@ -1,0 +1,281 @@
+// Package det implements determinants and the volatile determinant log of
+// the Family-Based Logging protocols.
+//
+// A determinant #m = (sender, ssn, receiver, rsn) records the one
+// nondeterministic outcome of delivering message m: the position it took in
+// its receiver's delivery order. The FBL insight (paper §2) is that
+// tolerating f failures only requires each determinant to reach the volatile
+// stores of f+1 different hosts; the message data itself stays in the
+// volatile store of its sender. Determinants spread causally: every outgoing
+// message piggybacks the determinants its sender does not yet know to be
+// replicated widely enough, so any process whose state causally depends on a
+// delivery also holds (or once held) its determinant — which is exactly the
+// property the paper's safety proof (§4.3) relies on.
+package det
+
+import (
+	"fmt"
+	"sort"
+
+	"rollrec/internal/bitset"
+	"rollrec/internal/ids"
+)
+
+// Determinant is the receipt-order record for one message delivery.
+type Determinant struct {
+	Msg      ids.MsgID  // the message: (sender, send sequence number)
+	Receiver ids.ProcID // who delivered it
+	RSN      ids.RSN    // position in the receiver's delivery order
+}
+
+// String renders the determinant.
+func (d Determinant) String() string {
+	return fmt.Sprintf("#(%v->%v@%d)", d.Msg, d.Receiver, d.RSN)
+}
+
+// Entry pairs a determinant with the set of hosts known to hold it. Entries
+// travel on the wire inside piggyback lists and depinfo replies, carrying
+// the holder estimate along so that receivers can stop forwarding
+// determinants that are already stable.
+type Entry struct {
+	Det     Determinant
+	Holders bitset.Set // indices per HolderIndex
+}
+
+// Clone returns a deep copy of the entry.
+func (e Entry) Clone() Entry {
+	return Entry{Det: e.Det, Holders: e.Holders.Clone()}
+}
+
+// HolderIndex maps a process identifier to its slot in holder sets for a
+// cluster of n application processes. The stable-storage pseudo-process
+// (f = n mode) occupies slot n. It returns -1 for identifiers that cannot
+// hold determinants.
+func HolderIndex(p ids.ProcID, n int) int {
+	switch {
+	case p.IsStorage():
+		return n
+	case p >= 0 && int(p) < n:
+		return int(p)
+	default:
+		return -1
+	}
+}
+
+// Config captures the replication rule parameters.
+type Config struct {
+	N int // number of application processes
+	F int // failures to tolerate; F >= N selects the f = n (Manetho) instance
+}
+
+// Manetho reports whether the configuration is the f = n instance, where
+// determinants are stable only once the stable-storage pseudo-process holds
+// them (paper §3.3 models stable storage as a process that never fails).
+func (c Config) Manetho() bool { return c.F >= c.N }
+
+// Stable reports whether a determinant with the given holder set needs no
+// further propagation: either f+1 hosts hold it, or — in the f = n
+// instance — stable storage does.
+func (c Config) Stable(holders bitset.Set) bool {
+	if c.Manetho() {
+		return holders.Contains(c.N)
+	}
+	return holders.Count() >= c.F+1
+}
+
+// Log is a process's volatile determinant store. The zero value is not
+// usable; construct with NewLog. Log is not safe for concurrent use — each
+// process owns one and the runtimes serialize event handling per process.
+type Log struct {
+	cfg     Config
+	entries map[ids.MsgID]*Entry
+
+	// Modification journal: every holder-set change appends the message id
+	// here, so piggyback construction can scan "what changed since I last
+	// sent to this peer" instead of the whole log (which dominates CPU
+	// otherwise). base counts compacted-away prefix entries; cursors are
+	// absolute positions (base + offset).
+	journal []ids.MsgID
+	base    int
+}
+
+// NewLog returns an empty determinant log for the given configuration.
+func NewLog(cfg Config) *Log {
+	return &Log{cfg: cfg, entries: make(map[ids.MsgID]*Entry)}
+}
+
+func (l *Log) mark(id ids.MsgID) { l.journal = append(l.journal, id) }
+
+// Cursor returns the current journal position for ScanPendingModified.
+func (l *Log) Cursor() int { return l.base + len(l.journal) }
+
+// ScanPendingModified invokes fn with a copy of every non-stable entry
+// modified at or after cursor (deduplicated within the scan) and returns
+// the new cursor.
+func (l *Log) ScanPendingModified(cursor int, fn func(Entry)) int {
+	if cursor < l.base {
+		cursor = l.base
+	}
+	var seen map[ids.MsgID]bool
+	for i := cursor - l.base; i < len(l.journal); i++ {
+		id := l.journal[i]
+		if seen[id] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[ids.MsgID]bool)
+		}
+		seen[id] = true
+		e, ok := l.entries[id]
+		if !ok || l.cfg.Stable(e.Holders) {
+			continue
+		}
+		fn(e.Clone())
+	}
+	return l.Cursor()
+}
+
+// Compact discards the journal prefix below minCursor, the smallest cursor
+// any consumer still holds.
+func (l *Log) Compact(minCursor int) {
+	if minCursor <= l.base {
+		return
+	}
+	drop := minCursor - l.base
+	if drop > len(l.journal) {
+		drop = len(l.journal)
+	}
+	l.journal = append([]ids.MsgID(nil), l.journal[drop:]...)
+	l.base += drop
+}
+
+// Config returns the replication configuration of the log.
+func (l *Log) Config() Config { return l.cfg }
+
+// Len returns the number of determinants currently held.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Record merges an entry into the log: a new determinant is stored, a known
+// one has its holder set unioned. It returns an error if the incoming
+// determinant disagrees with a stored one about the receiver or the receipt
+// order of the same message — that would mean two executions delivered the
+// same message differently, which the protocol must never allow.
+func (l *Log) Record(e Entry) error {
+	if cur, ok := l.entries[e.Det.Msg]; ok {
+		if cur.Det != e.Det {
+			return fmt.Errorf("det: conflicting determinants for %v: have %v, got %v",
+				e.Det.Msg, cur.Det, e.Det)
+		}
+		if cur.Holders.Union(e.Holders) {
+			l.mark(e.Det.Msg)
+		}
+		return nil
+	}
+	cp := e.Clone()
+	l.entries[e.Det.Msg] = &cp
+	l.mark(e.Det.Msg)
+	return nil
+}
+
+// AddHolder marks process p as holding the determinant of msg, if known.
+func (l *Log) AddHolder(msg ids.MsgID, p ids.ProcID) {
+	if e, ok := l.entries[msg]; ok {
+		if idx := HolderIndex(p, l.cfg.N); idx >= 0 && !e.Holders.Contains(idx) {
+			e.Holders.Add(idx)
+			l.mark(msg)
+		}
+	}
+}
+
+// Lookup returns the determinant entry for msg, if present.
+func (l *Log) Lookup(msg ids.MsgID) (Entry, bool) {
+	if e, ok := l.entries[msg]; ok {
+		return e.Clone(), true
+	}
+	return Entry{}, false
+}
+
+// Pending returns the entries that are not yet stable, in deterministic
+// (sender, ssn) order: exactly the set a process must piggyback on its next
+// outgoing message.
+func (l *Log) Pending() []Entry {
+	var out []Entry
+	for _, e := range l.entries {
+		if !l.cfg.Stable(e.Holders) {
+			out = append(out, e.Clone())
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// PendingForStorage returns the entries whose holder set does not yet
+// include the stable-storage pseudo-process; the f = n instance streams
+// these to storage asynchronously.
+func (l *Log) PendingForStorage() []Entry {
+	var out []Entry
+	for _, e := range l.entries {
+		if !e.Holders.Contains(l.cfg.N) {
+			out = append(out, e.Clone())
+		}
+	}
+	sortEntries(out)
+	return out
+}
+
+// All returns every entry in deterministic order. Used when a live process
+// answers the recovery leader's depinfo request (§3.4 step 5).
+func (l *Log) All() []Entry {
+	out := make([]Entry, 0, len(l.entries))
+	for _, e := range l.entries {
+		out = append(out, e.Clone())
+	}
+	sortEntries(out)
+	return out
+}
+
+// ForReceiver returns the determinants recording deliveries at process p
+// with RSN strictly greater than after, in ascending RSN order: the replay
+// schedule a recovering process must re-consume (paper §2.1).
+func (l *Log) ForReceiver(p ids.ProcID, after ids.RSN) []Determinant {
+	var out []Determinant
+	for _, e := range l.entries {
+		if e.Det.Receiver == p && e.Det.RSN > after {
+			out = append(out, e.Det)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RSN < out[j].RSN })
+	return out
+}
+
+// GCReceiver drops determinants for deliveries at p with RSN <= upTo: once
+// p has checkpointed past a delivery it can never be asked to replay it.
+// It returns the number of entries discarded.
+func (l *Log) GCReceiver(p ids.ProcID, upTo ids.RSN) int {
+	n := 0
+	for id, e := range l.entries {
+		if e.Det.Receiver == p && e.Det.RSN <= upTo {
+			delete(l.entries, id)
+			n++
+		}
+	}
+	return n
+}
+
+// MergeEntries records a batch, stopping at the first conflict.
+func (l *Log) MergeEntries(entries []Entry) error {
+	for _, e := range entries {
+		if err := l.Record(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a deep copy of the log, used when checkpoint contents
+// must be captured at an instant.
+func (l *Log) Snapshot() []Entry { return l.All() }
+
+func sortEntries(s []Entry) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Det.Msg.Less(s[j].Det.Msg) })
+}

@@ -1,0 +1,225 @@
+package det
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rollrec/internal/bitset"
+	"rollrec/internal/ids"
+)
+
+func entry(sender ids.ProcID, ssn ids.SSN, recv ids.ProcID, rsn ids.RSN, holders ...int) Entry {
+	return Entry{
+		Det:     Determinant{Msg: ids.MsgID{Sender: sender, SSN: ssn}, Receiver: recv, RSN: rsn},
+		Holders: bitset.FromSlice(holders),
+	}
+}
+
+func TestHolderIndex(t *testing.T) {
+	const n = 4
+	if got := HolderIndex(2, n); got != 2 {
+		t.Fatalf("HolderIndex(2) = %d", got)
+	}
+	if got := HolderIndex(ids.StorageProc, n); got != n {
+		t.Fatalf("HolderIndex(storage) = %d, want %d", got, n)
+	}
+	if got := HolderIndex(9, n); got != -1 {
+		t.Fatalf("HolderIndex(out of range) = %d, want -1", got)
+	}
+	if got := HolderIndex(ids.Nobody, n); got != -1 {
+		t.Fatalf("HolderIndex(nobody) = %d, want -1", got)
+	}
+}
+
+func TestStableRule(t *testing.T) {
+	cfg := Config{N: 4, F: 2}
+	h := bitset.FromSlice([]int{0, 1})
+	if cfg.Stable(h) {
+		t.Fatal("2 holders must not be stable for f=2")
+	}
+	h.Add(3)
+	if !cfg.Stable(h) {
+		t.Fatal("3 holders must be stable for f=2")
+	}
+}
+
+func TestStableRuleManetho(t *testing.T) {
+	cfg := Config{N: 4, F: 4}
+	if !cfg.Manetho() {
+		t.Fatal("f=n must select Manetho mode")
+	}
+	h := bitset.FromSlice([]int{0, 1, 2, 3})
+	if cfg.Stable(h) {
+		t.Fatal("all volatile holders are not enough in f=n mode")
+	}
+	h.Add(4) // storage slot
+	if !cfg.Stable(h) {
+		t.Fatal("storage holder must make the determinant stable in f=n mode")
+	}
+}
+
+func TestRecordAndMergeHolders(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 2})
+	if err := l.Record(entry(0, 1, 1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(entry(0, 1, 1, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := l.Lookup(ids.MsgID{Sender: 0, SSN: 1})
+	if !ok {
+		t.Fatal("determinant missing after Record")
+	}
+	if !e.Holders.Contains(1) || !e.Holders.Contains(2) {
+		t.Fatalf("holders not merged: %v", e.Holders)
+	}
+}
+
+func TestRecordConflict(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 2})
+	if err := l.Record(entry(0, 1, 1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(entry(0, 1, 1, 2, 1)); err == nil {
+		t.Fatal("conflicting RSN for the same message must be rejected")
+	}
+	if err := l.Record(entry(0, 1, 2, 1, 1)); err == nil {
+		t.Fatal("conflicting receiver for the same message must be rejected")
+	}
+}
+
+func TestPendingExcludesStable(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 1})
+	if err := l.Record(entry(0, 1, 1, 1, 1)); err != nil { // 1 holder: pending
+		t.Fatal(err)
+	}
+	if err := l.Record(entry(0, 2, 1, 2, 1, 2)); err != nil { // 2 holders: stable at f=1
+		t.Fatal(err)
+	}
+	p := l.Pending()
+	if len(p) != 1 || p[0].Det.Msg.SSN != 1 {
+		t.Fatalf("Pending = %v, want just ssn 1", p)
+	}
+}
+
+func TestPendingDeterministicOrder(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 3})
+	_ = l.Record(entry(2, 5, 1, 1, 1))
+	_ = l.Record(entry(0, 9, 1, 2, 1))
+	_ = l.Record(entry(0, 3, 1, 3, 1))
+	p := l.Pending()
+	for i := 1; i < len(p); i++ {
+		if !p[i-1].Det.Msg.Less(p[i].Det.Msg) {
+			t.Fatalf("Pending not sorted: %v", p)
+		}
+	}
+}
+
+func TestForReceiverOrdersByRSN(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 2})
+	_ = l.Record(entry(0, 3, 2, 7, 0))
+	_ = l.Record(entry(1, 1, 2, 5, 0))
+	_ = l.Record(entry(0, 1, 2, 6, 0))
+	_ = l.Record(entry(0, 2, 3, 1, 0)) // other receiver
+	ds := l.ForReceiver(2, 5)
+	if len(ds) != 2 {
+		t.Fatalf("ForReceiver returned %d determinants, want 2 (after rsn 5)", len(ds))
+	}
+	if ds[0].RSN != 6 || ds[1].RSN != 7 {
+		t.Fatalf("ForReceiver order wrong: %v", ds)
+	}
+}
+
+func TestGCReceiver(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 2})
+	_ = l.Record(entry(0, 1, 2, 1, 0))
+	_ = l.Record(entry(0, 2, 2, 2, 0))
+	_ = l.Record(entry(0, 3, 3, 2, 0))
+	if n := l.GCReceiver(2, 1); n != 1 {
+		t.Fatalf("GCReceiver dropped %d, want 1", n)
+	}
+	if _, ok := l.Lookup(ids.MsgID{Sender: 0, SSN: 1}); ok {
+		t.Fatal("GC'd determinant still present")
+	}
+	if _, ok := l.Lookup(ids.MsgID{Sender: 0, SSN: 2}); !ok {
+		t.Fatal("determinant past the watermark must survive")
+	}
+	if _, ok := l.Lookup(ids.MsgID{Sender: 0, SSN: 3}); !ok {
+		t.Fatal("other receiver's determinant must survive")
+	}
+}
+
+func TestPendingForStorage(t *testing.T) {
+	l := NewLog(Config{N: 2, F: 2})
+	_ = l.Record(entry(0, 1, 1, 1, 0, 1)) // volatile only
+	_ = l.Record(entry(0, 2, 1, 2, 0, 2)) // slot 2 == storage for N=2
+	p := l.PendingForStorage()
+	if len(p) != 1 || p[0].Det.Msg.SSN != 1 {
+		t.Fatalf("PendingForStorage = %v", p)
+	}
+}
+
+// TestQuickMergeIsIdempotentAndMonotone checks that recording the same
+// entries repeatedly, in any order, yields the same log: the leader may
+// aggregate overlapping depinfo replies from many processes.
+func TestQuickMergeIsIdempotentAndMonotone(t *testing.T) {
+	f := func(perm []uint8, holdersRaw []uint8) bool {
+		cfg := Config{N: 8, F: 2}
+		base := make([]Entry, 8)
+		for i := range base {
+			h := []int{i % 8}
+			if len(holdersRaw) > 0 {
+				h = append(h, int(holdersRaw[i%len(holdersRaw)])%8)
+			}
+			base[i] = entry(ids.ProcID(i%4), ids.SSN(i), ids.ProcID((i+1)%4), ids.RSN(i+1), h...)
+		}
+		l1 := NewLog(cfg)
+		l2 := NewLog(cfg)
+		if err := l1.MergeEntries(base); err != nil {
+			return false
+		}
+		// Apply to l2 in a permuted order, twice.
+		for round := 0; round < 2; round++ {
+			for _, p := range perm {
+				if err := l2.Record(base[int(p)%len(base)]); err != nil {
+					return false
+				}
+			}
+		}
+		if err := l2.MergeEntries(base); err != nil {
+			return false
+		}
+		a, b := l1.All(), l2.All()
+		if len(b) > len(a) {
+			return false
+		}
+		// Every entry l2 has must match l1's determinant exactly.
+		for i := range b {
+			found := false
+			for j := range a {
+				if a[j].Det == b[i].Det {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 2})
+	_ = l.Record(entry(0, 1, 1, 1, 0))
+	snap := l.Snapshot()
+	snap[0].Holders.Add(3)
+	e, _ := l.Lookup(ids.MsgID{Sender: 0, SSN: 1})
+	if e.Holders.Contains(3) {
+		t.Fatal("Snapshot must not alias the log's holder sets")
+	}
+}

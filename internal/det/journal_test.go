@@ -1,0 +1,132 @@
+package det
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rollrec/internal/ids"
+)
+
+func TestScanPendingModified(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 2})
+	cur := l.Cursor()
+	if cur != 0 {
+		t.Fatalf("fresh log cursor = %d", cur)
+	}
+	_ = l.Record(entry(0, 1, 1, 1, 1))
+	_ = l.Record(entry(0, 2, 1, 2, 1))
+
+	var seen []ids.SSN
+	cur = l.ScanPendingModified(cur, func(e Entry) { seen = append(seen, e.Det.Msg.SSN) })
+	if len(seen) != 2 {
+		t.Fatalf("first scan saw %d entries, want 2", len(seen))
+	}
+	// Nothing changed: a re-scan from the new cursor sees nothing.
+	seen = nil
+	cur = l.ScanPendingModified(cur, func(e Entry) { seen = append(seen, e.Det.Msg.SSN) })
+	if len(seen) != 0 {
+		t.Fatalf("idle re-scan saw %v", seen)
+	}
+	// A holder change re-surfaces exactly that entry.
+	l.AddHolder(ids.MsgID{Sender: 0, SSN: 1}, 2)
+	seen = nil
+	cur = l.ScanPendingModified(cur, func(e Entry) { seen = append(seen, e.Det.Msg.SSN) })
+	if len(seen) != 1 || seen[0] != 1 {
+		t.Fatalf("post-change scan saw %v, want [1]", seen)
+	}
+	// Redundant AddHolder must not mark.
+	before := l.Cursor()
+	l.AddHolder(ids.MsgID{Sender: 0, SSN: 1}, 2)
+	if l.Cursor() != before {
+		t.Fatal("no-op AddHolder must not grow the journal")
+	}
+}
+
+func TestScanSkipsStableAndGCed(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 1}) // stable at 2 holders
+	_ = l.Record(entry(0, 1, 1, 1, 1, 2))
+	_ = l.Record(entry(0, 2, 1, 2, 1))
+	_ = l.Record(entry(0, 3, 2, 9, 1))
+	l.GCReceiver(2, 9) // removes the third
+	var seen []ids.SSN
+	l.ScanPendingModified(0, func(e Entry) { seen = append(seen, e.Det.Msg.SSN) })
+	if len(seen) != 1 || seen[0] != 2 {
+		t.Fatalf("scan = %v, want only the pending non-GC'd entry [2]", seen)
+	}
+}
+
+func TestScanDeduplicatesWithinWindow(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 3})
+	_ = l.Record(entry(0, 1, 1, 1, 1))
+	l.AddHolder(ids.MsgID{Sender: 0, SSN: 1}, 2)
+	l.AddHolder(ids.MsgID{Sender: 0, SSN: 1}, 3)
+	count := 0
+	l.ScanPendingModified(0, func(Entry) { count++ })
+	if count != 1 {
+		t.Fatalf("scan visited the same entry %d times", count)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	l := NewLog(Config{N: 4, F: 2})
+	for i := 0; i < 10; i++ {
+		_ = l.Record(entry(0, ids.SSN(i), 1, ids.RSN(i+1), 1))
+	}
+	mid := 5
+	l.Compact(mid)
+	// A cursor below the compaction floor is clamped, not an error.
+	count := 0
+	l.ScanPendingModified(0, func(Entry) { count++ })
+	if count != 5 {
+		t.Fatalf("post-compact scan from 0 saw %d, want the 5 surviving marks", count)
+	}
+	// Compacting beyond the journal end is a no-op clamp.
+	l.Compact(10_000)
+	count = 0
+	l.ScanPendingModified(0, func(Entry) { count++ })
+	if count != 0 {
+		t.Fatalf("fully compacted journal still yields %d entries", count)
+	}
+	// Entries themselves survive compaction (only the journal shrinks).
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d after compaction, want 10", l.Len())
+	}
+}
+
+// TestQuickScanEquivalentToPending: scanning from zero must visit exactly
+// the pending set (the journal is an index, not a different truth).
+func TestQuickScanEquivalentToPending(t *testing.T) {
+	f := func(ops []uint16) bool {
+		l := NewLog(Config{N: 8, F: 2})
+		for _, op := range ops {
+			s := ids.ProcID(op % 4)
+			ssn := ids.SSN(op % 16)
+			switch (op / 16) % 3 {
+			case 0:
+				_ = l.Record(entry(s, ssn, ids.ProcID((op+1)%4), ids.RSN(ssn+1), int(op%8)))
+			case 1:
+				l.AddHolder(ids.MsgID{Sender: s, SSN: ssn}, ids.ProcID(op%8))
+			case 2:
+				l.GCReceiver(ids.ProcID((op+1)%4), ids.RSN(op%8))
+			}
+		}
+		want := map[ids.MsgID]bool{}
+		for _, e := range l.Pending() {
+			want[e.Det.Msg] = true
+		}
+		got := map[ids.MsgID]bool{}
+		l.ScanPendingModified(0, func(e Entry) { got[e.Det.Msg] = true })
+		if len(got) != len(want) {
+			return false
+		}
+		for id := range want {
+			if !got[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

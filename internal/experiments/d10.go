@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"time"
+
+	"rollrec/internal/failure"
+	"rollrec/internal/ids"
+	"rollrec/internal/optimistic"
+	"rollrec/internal/recovery"
+	"rollrec/internal/sim"
+	"rollrec/internal/wire"
+)
+
+// D10 puts the paper's §6 taxonomy on one table: optimistic logging is
+// cheap in failure-free operation but lets live processes become ORPHANS
+// of a failure (they roll back and lose work); the FBL family with the
+// paper's recovery algorithm pays causal piggybacking up front and, at
+// failure time, touches nobody.
+func D10(seed int64) Table {
+	t := Table{
+		ID:      "D10",
+		Title:   "orphans: FBL vs optimistic logging (single failure, n=8)",
+		Columns: []string{"design", "orphaned lives", "deliveries lost (orphans)", "ff piggyback bytes/msg", "victim recovery"},
+		Notes: []string{
+			"paper §6: optimistic protocols risk 'processes that survive failures becoming orphans';",
+			"FBL's determinants at f+1 hosts make the orphan count structurally zero",
+		},
+	}
+
+	// FBL + the paper's non-blocking recovery.
+	spec := paperSpec(recovery.NonBlocking, seed)
+	spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 3}}
+	r := MustRun(spec)
+	var appMsgs, piggyBytes int64
+	for i := 0; i < spec.N; i++ {
+		m := r.C.Metrics(ids.ProcID(i))
+		appMsgs += m.MsgsSent[uint8(wire.KindApp)]
+		piggyBytes += m.PiggybackBytes
+	}
+	if appMsgs == 0 {
+		appMsgs = 1
+	}
+	t.AddRow("fbl (f=2) + nonblocking", 0, 0,
+		float64(piggyBytes)/float64(appMsgs), r.Victim(3).Total())
+
+	// Optimistic logging with asynchronous receiver-side logs.
+	o := runOptimistic(seed, spec.Horizon)
+	t.AddRow("optimistic (Strom–Yemini style)", o.orphans, o.lost,
+		o.dvBytesPerMsg, o.victimRecovery)
+	return t
+}
+
+type optimisticResult struct {
+	orphans        int
+	lost           int64
+	dvBytesPerMsg  float64
+	victimRecovery time.Duration
+}
+
+func runOptimistic(seed int64, horizon time.Duration) optimisticResult {
+	const n = 8
+	spec := paperSpec(recovery.NonBlocking, seed)
+	k := sim.New(sim.Config{Seed: seed, HW: spec.HW})
+	var out optimisticResult
+	orphaned := map[ids.ProcID]bool{}
+	par := optimistic.Params{
+		N:          n,
+		App:        spec.App,
+		FlushEvery: 500 * time.Millisecond,
+		StatePad:   4 << 10,
+		Hooks: optimistic.Hooks{
+			OnOrphan: func(p, _ ids.ProcID, lost int64) {
+				if p != 3 { // the victim itself is not an orphan
+					orphaned[p] = true
+					out.lost += lost
+				}
+			},
+		},
+	}
+	for i := 0; i < n; i++ {
+		k.AddNode(ids.ProcID(i), optimistic.New(par))
+	}
+	k.Boot()
+	k.CrashAt(10*time.Second, 3)
+	k.Run(horizon)
+
+	out.orphans = len(orphaned)
+	if tr := k.Metrics(3).CurrentRecovery(); tr != nil && tr.ReplayedAt != 0 {
+		out.victimRecovery = time.Duration(tr.ReplayedAt - tr.CrashedAt)
+	}
+	// The failure-free dependency-tracking cost: the dv piggyback is a
+	// fixed (8B index + 4B epoch) per process per message.
+	out.dvBytesPerMsg = float64(12 * n)
+	return out
+}

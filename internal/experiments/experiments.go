@@ -1,0 +1,228 @@
+// Package experiments reproduces the paper's evaluation (§5) and the
+// derived sweeps its argument calls for. Each experiment returns a Table
+// whose rows correspond to the quantities the paper reports; see DESIGN.md
+// §3 for the experiment index and EXPERIMENTS.md for paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rollrec/internal/cluster"
+	"rollrec/internal/failure"
+	"rollrec/internal/ids"
+	"rollrec/internal/metrics"
+	"rollrec/internal/node"
+	"rollrec/internal/recovery"
+	"rollrec/internal/wire"
+	"rollrec/internal/workload"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case time.Duration:
+			row[i] = metrics.FmtDuration(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", width[i]))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Spec describes one simulated run.
+type Spec struct {
+	N, F    int
+	Style   recovery.Style
+	Seed    int64
+	HW      node.Hardware
+	App     workload.Factory
+	CPEvery time.Duration
+	Pad     int
+	Crashes failure.Plan
+	Horizon time.Duration
+}
+
+// paperSpec is the baseline configuration modeled on the paper's testbed:
+// eight workstations, f = 2, ~1 MB process images, an active irregular
+// workload, and era hardware.
+func paperSpec(style recovery.Style, seed int64) Spec {
+	return Spec{
+		N:     8,
+		F:     2,
+		Style: style,
+		Seed:  seed,
+		HW:    node.Profile1995(),
+		// A long-TTL gossip keeps every process busy throughout the run;
+		// one chain per process with ~1 ms of work per delivery keeps the
+		// simulated message rate at roughly what the paper's testbed could
+		// sustain.
+		App:     workload.NewRandomPeer(1, 1_000_000, 256, int64(time.Millisecond)),
+		CPEvery: 4 * time.Second,
+		Pad:     1 << 20, // ~1 MB process state
+		Horizon: 25 * time.Second,
+	}
+}
+
+// Result captures what the experiments read out of a finished run.
+type Result struct {
+	C        *cluster.Cluster
+	Spec     Spec
+	Errors   []error
+	recStart map[ids.ProcID]int64
+}
+
+// Run executes a spec to its horizon and returns the collected result.
+func Run(spec Spec) *Result {
+	c := cluster.New(cluster.Config{
+		N:               spec.N,
+		F:               spec.F,
+		Seed:            spec.Seed,
+		HW:              spec.HW,
+		Style:           spec.Style,
+		App:             spec.App,
+		CheckpointEvery: spec.CPEvery,
+		StatePad:        spec.Pad,
+	})
+	c.ApplyPlan(spec.Crashes)
+	c.Run(spec.Horizon)
+	return &Result{C: c, Spec: spec, Errors: c.Check()}
+}
+
+// MustRun panics on invariant violations — experiments must only report
+// numbers from consistent runs.
+func MustRun(spec Spec) *Result {
+	r := Run(spec)
+	// The gossip workload never reports Done, so liveness errors about the
+	// workload itself do not occur; any error here is a real violation.
+	if len(r.Errors) > 0 {
+		panic(fmt.Sprintf("experiments: inconsistent run: %v", r.Errors[0]))
+	}
+	return r
+}
+
+// Victim returns the recovery trace of process p's last recovery.
+func (r *Result) Victim(p ids.ProcID) *metrics.RecoveryTrace {
+	return r.C.Metrics(p).CurrentRecovery()
+}
+
+// LiveBlocked returns mean and max blocked time over the processes that
+// never crashed.
+func (r *Result) LiveBlocked() (mean, max time.Duration) {
+	crashed := map[ids.ProcID]bool{}
+	for _, cr := range r.Spec.Crashes {
+		crashed[cr.Proc] = true
+	}
+	var lives []int
+	for i := 0; i < r.Spec.N; i++ {
+		if !crashed[ids.ProcID(i)] {
+			lives = append(lives, i)
+		}
+	}
+	procs := make([]*metrics.Proc, r.Spec.N)
+	for i := 0; i < r.Spec.N; i++ {
+		procs[i] = r.C.Metrics(ids.ProcID(i))
+	}
+	return metrics.Cluster{Procs: procs}.MeanBlocked(lives)
+}
+
+// recoveryKinds are the control messages attributable to the recovery
+// algorithm itself (heartbeats and checkpoint notices are background).
+var recoveryKinds = []wire.Kind{
+	wire.KindRecoveryAnnounce, wire.KindIncRequest, wire.KindIncReply,
+	wire.KindDepRequest, wire.KindDepReply, wire.KindRecoveryData,
+	wire.KindRecoveryComplete, wire.KindReplayRequest, wire.KindRecovered,
+}
+
+// RecoveryTraffic sums the recovery-protocol control messages and bytes
+// sent by all processes over the whole run.
+func (r *Result) RecoveryTraffic() (msgs, bytes int64) {
+	for i := 0; i < r.Spec.N; i++ {
+		m := r.C.Metrics(ids.ProcID(i))
+		for _, k := range recoveryKinds {
+			msgs += m.MsgsSent[uint8(k)]
+			bytes += m.BytesSent[uint8(k)]
+		}
+	}
+	return msgs, bytes
+}
+
+// Breakdown splits a recovery trace into the phases the paper discusses.
+type Breakdown struct {
+	DetectRestart time.Duration // crash → process image back up
+	Restore       time.Duration // stable-storage read of the checkpoint
+	Gather        time.Duration // recovery protocol to depinfo in hand
+	Replay        time.Duration // re-execution
+	Total         time.Duration
+}
+
+// BreakdownOf converts a trace.
+func BreakdownOf(tr *metrics.RecoveryTrace) Breakdown {
+	if tr == nil || tr.ReplayedAt == 0 {
+		return Breakdown{}
+	}
+	return Breakdown{
+		DetectRestart: time.Duration(tr.RestartedAt - tr.CrashedAt),
+		Restore:       time.Duration(tr.RestoredAt - tr.RestartedAt),
+		Gather:        time.Duration(tr.GatheredAt - tr.RestoredAt),
+		Replay:        time.Duration(tr.ReplayedAt - tr.GatheredAt),
+		Total:         time.Duration(tr.ReplayedAt - tr.CrashedAt),
+	}
+}

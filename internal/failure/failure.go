@@ -1,0 +1,135 @@
+// Package failure provides the timeout-based failure detector the recovery
+// algorithm consumes, and crash-injection plans for experiments.
+//
+// Detection works the way the paper describes production systems of its era
+// working (§2.2): peers exchange periodic heartbeats, and "a typical
+// implementation would require several seconds of timeouts and retrials to
+// detect that process q has indeed failed". The detector is deliberately
+// simple — time since last traffic — because its *latency*, not its
+// sophistication, is what dominates the recovery numbers.
+package failure
+
+import (
+	"sort"
+	"time"
+
+	"rollrec/internal/ids"
+)
+
+// Detector tracks peer liveness for one process. It is driven entirely by
+// its owner: call Heard on every inbound frame and Tick periodically.
+// Not safe for concurrent use.
+type Detector struct {
+	self         ids.ProcID
+	n            int
+	suspectAfter time.Duration
+	lastHeard    []int64
+	suspected    []bool
+	onSuspect    func(p ids.ProcID)
+}
+
+// NewDetector returns a detector for a cluster of n processes. onSuspect
+// fires exactly once per suspicion (until Clear); it may be nil.
+func NewDetector(self ids.ProcID, n int, suspectAfter time.Duration, now int64, onSuspect func(ids.ProcID)) *Detector {
+	d := &Detector{
+		self:         self,
+		n:            n,
+		suspectAfter: suspectAfter,
+		lastHeard:    make([]int64, n),
+		suspected:    make([]bool, n),
+		onSuspect:    onSuspect,
+	}
+	for i := range d.lastHeard {
+		d.lastHeard[i] = now
+	}
+	return d
+}
+
+// Heard records traffic from p at virtual time now and clears any standing
+// suspicion of p (hearing from a process proves it is up again).
+func (d *Detector) Heard(p ids.ProcID, now int64) {
+	if !d.tracks(p) {
+		return
+	}
+	d.lastHeard[p] = now
+	d.suspected[p] = false
+}
+
+// Tick scans for peers that have been silent longer than the suspicion
+// threshold and fires onSuspect for each new suspicion.
+func (d *Detector) Tick(now int64) {
+	for p := 0; p < d.n; p++ {
+		pid := ids.ProcID(p)
+		if pid == d.self || d.suspected[p] {
+			continue
+		}
+		if now-d.lastHeard[p] > int64(d.suspectAfter) {
+			d.suspected[p] = true
+			if d.onSuspect != nil {
+				d.onSuspect(pid)
+			}
+		}
+	}
+}
+
+// Suspected reports whether p is currently suspected. The storage
+// pseudo-process and the owner itself are never suspected.
+func (d *Detector) Suspected(p ids.ProcID) bool {
+	return d.tracks(p) && d.suspected[p]
+}
+
+// Clear removes a suspicion without fresh traffic (e.g., after the peer's
+// recovery announcement arrived through a third party).
+func (d *Detector) Clear(p ids.ProcID, now int64) { d.Heard(p, now) }
+
+// SuspectedSet returns the currently suspected processes in ascending order.
+func (d *Detector) SuspectedSet() []ids.ProcID {
+	var out []ids.ProcID
+	for p := 0; p < d.n; p++ {
+		if d.suspected[p] {
+			out = append(out, ids.ProcID(p))
+		}
+	}
+	return out
+}
+
+func (d *Detector) tracks(p ids.ProcID) bool {
+	return p != d.self && !p.IsStorage() && p >= 0 && int(p) < d.n
+}
+
+// Crash is one injected failure: Proc crashes at virtual time At.
+type Crash struct {
+	At   time.Duration
+	Proc ids.ProcID
+}
+
+// Plan is a crash schedule. Use Sorted before applying.
+type Plan []Crash
+
+// Sorted returns the plan ordered by injection time (stable for equal
+// times).
+func (p Plan) Sorted() Plan {
+	out := append(Plan(nil), p...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// MaxConcurrent returns the largest number of crashes whose recovery
+// windows overlap, assuming each recovery lasts `window`. Experiments use
+// it to assert a plan stays within the protocol's f budget.
+func (p Plan) MaxConcurrent(window time.Duration) int {
+	s := p.Sorted()
+	max := 0
+	for i := range s {
+		c := 1
+		for j := i + 1; j < len(s); j++ {
+			if s[j].At-s[i].At < window {
+				c++
+			}
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

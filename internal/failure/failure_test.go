@@ -1,0 +1,111 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"rollrec/internal/ids"
+)
+
+const sec = int64(time.Second)
+
+func TestSuspectAfterSilence(t *testing.T) {
+	var suspects []ids.ProcID
+	d := NewDetector(0, 3, 3*time.Second, 0, func(p ids.ProcID) { suspects = append(suspects, p) })
+	d.Heard(1, 1*sec)
+	d.Heard(2, 1*sec)
+	d.Tick(3 * sec)
+	if len(suspects) != 0 {
+		t.Fatalf("suspected too early: %v", suspects)
+	}
+	d.Heard(2, 4*sec)
+	d.Tick(4*sec + 100)
+	if len(suspects) != 1 || suspects[0] != 1 {
+		t.Fatalf("suspects = %v, want [1]", suspects)
+	}
+	if !d.Suspected(1) || d.Suspected(2) {
+		t.Fatal("Suspected state wrong")
+	}
+}
+
+func TestSuspectFiresOnce(t *testing.T) {
+	fired := 0
+	d := NewDetector(0, 2, time.Second, 0, func(ids.ProcID) { fired++ })
+	d.Tick(5 * sec)
+	d.Tick(6 * sec)
+	d.Tick(7 * sec)
+	if fired != 1 {
+		t.Fatalf("onSuspect fired %d times, want 1", fired)
+	}
+}
+
+func TestHeardClearsSuspicion(t *testing.T) {
+	fired := 0
+	d := NewDetector(0, 2, time.Second, 0, func(ids.ProcID) { fired++ })
+	d.Tick(5 * sec)
+	if !d.Suspected(1) {
+		t.Fatal("expected suspicion")
+	}
+	d.Heard(1, 6*sec)
+	if d.Suspected(1) {
+		t.Fatal("traffic must clear suspicion")
+	}
+	d.Tick(10 * sec)
+	if fired != 2 {
+		t.Fatalf("re-suspicion after clear must fire again: fired=%d", fired)
+	}
+}
+
+func TestNeverSuspectsSelfOrStorage(t *testing.T) {
+	d := NewDetector(1, 3, time.Second, 0, nil)
+	d.Tick(100 * sec)
+	if d.Suspected(1) {
+		t.Fatal("must never suspect self")
+	}
+	if d.Suspected(ids.StorageProc) {
+		t.Fatal("must never suspect the storage pseudo-process")
+	}
+	// Heard from storage must not panic or misindex.
+	d.Heard(ids.StorageProc, 5*sec)
+	set := d.SuspectedSet()
+	if len(set) != 2 || set[0] != 0 || set[1] != 2 {
+		t.Fatalf("SuspectedSet = %v, want [0 2]", set)
+	}
+}
+
+func TestClear(t *testing.T) {
+	d := NewDetector(0, 2, time.Second, 0, nil)
+	d.Tick(5 * sec)
+	d.Clear(1, 5*sec)
+	if d.Suspected(1) {
+		t.Fatal("Clear must remove suspicion")
+	}
+}
+
+func TestPlanSorted(t *testing.T) {
+	p := Plan{{At: 3 * time.Second, Proc: 2}, {At: time.Second, Proc: 0}, {At: 2 * time.Second, Proc: 1}}
+	s := p.Sorted()
+	if s[0].Proc != 0 || s[1].Proc != 1 || s[2].Proc != 2 {
+		t.Fatalf("Sorted = %v", s)
+	}
+	if p[0].Proc != 2 {
+		t.Fatal("Sorted must not mutate the original plan")
+	}
+}
+
+func TestMaxConcurrent(t *testing.T) {
+	p := Plan{
+		{At: 1 * time.Second, Proc: 0},
+		{At: 2 * time.Second, Proc: 1}, // overlaps the first for window 5s
+		{At: 20 * time.Second, Proc: 2},
+	}
+	if got := p.MaxConcurrent(5 * time.Second); got != 2 {
+		t.Fatalf("MaxConcurrent(5s) = %d, want 2", got)
+	}
+	if got := p.MaxConcurrent(500 * time.Millisecond); got != 1 {
+		t.Fatalf("MaxConcurrent(0.5s) = %d, want 1", got)
+	}
+	if got := (Plan{}).MaxConcurrent(time.Second); got != 0 {
+		t.Fatalf("empty plan MaxConcurrent = %d", got)
+	}
+}

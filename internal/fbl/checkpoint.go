@@ -1,0 +1,252 @@
+package fbl
+
+import (
+	"fmt"
+	"time"
+
+	"rollrec/internal/ids"
+	"rollrec/internal/vclock"
+	"rollrec/internal/wire"
+)
+
+// Stable-store keys.
+const (
+	keyCheckpoint  = "cp"
+	keyIncarnation = "inc"
+)
+
+const checkpointVersion = 1
+
+// writeIncRecord durably records the incarnation number and the highest
+// ordinal clock used, so a re-crash during recovery still produces a fresh
+// incarnation and a fresh ordinal.
+func (p *Process) writeIncRecord(done func()) {
+	w := wire.NewWriter(12)
+	w.U32(uint32(p.inc))
+	w.U64(p.lam.Now())
+	p.env.WriteStable(keyIncarnation, w.Frame(), done)
+}
+
+func parseIncRecord(data []byte) (ids.Incarnation, uint64, bool) {
+	r := wire.NewReader(data)
+	inc := ids.Incarnation(r.U32())
+	clk := r.U64()
+	if !r.Done() {
+		return 0, 0, false
+	}
+	return inc, clk, true
+}
+
+// encodeCheckpoint serializes the complete recoverable state: application
+// snapshot, send/receive counters, the volatile send log (sender-based
+// logging survives the sender's own failure through its checkpoint), and
+// the incarnation vector. StatePad models the paper's ~1 MB process images.
+func (p *Process) encodeCheckpoint() []byte {
+	app := p.app.Snapshot()
+	w := wire.NewWriter(256 + len(app) + p.par.StatePad)
+	w.U8(checkpointVersion)
+	w.U32(uint32(p.inc))
+	w.U64(p.lam.Now())
+	if p.started {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.U64(uint64(p.ssn))
+	w.U64(uint64(p.rsn))
+	for i := 0; i < p.n; i++ {
+		w.U64(p.dseqOut[i])
+		w.U64(p.expDseq[i])
+		w.U32(uint32(p.incVec.Get(ids.ProcID(i))))
+	}
+	w.Bytes(app)
+	for to := 0; to < p.n; to++ {
+		log := p.sendLog[to]
+		w.U32(uint32(len(log)))
+		for _, d := range sortedKeys(log) {
+			rec := log[d]
+			w.U64(d)
+			w.U64(uint64(rec.ssn))
+			w.Bytes(rec.payload)
+		}
+	}
+	w.Bytes(make([]byte, p.par.StatePad))
+	return w.Frame()
+}
+
+func sortedKeys(m map[uint64]logRec) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// decodeCheckpoint restores the state captured by encodeCheckpoint.
+func (p *Process) decodeCheckpoint(data []byte) error {
+	r := wire.NewReader(data)
+	if v := r.U8(); v != checkpointVersion {
+		return fmt.Errorf("fbl: checkpoint version %d", v)
+	}
+	p.inc = ids.Incarnation(r.U32())
+	lam := r.U64()
+	for p.lam.Now() < lam {
+		p.lam.Witness(lam - 1)
+	}
+	p.started = r.U8() == 1
+	p.ssn = ids.SSN(r.U64())
+	p.rsn = ids.RSN(r.U64())
+	vec := make([]ids.Incarnation, p.n)
+	for i := 0; i < p.n; i++ {
+		p.dseqOut[i] = r.U64()
+		p.expDseq[i] = r.U64()
+		vec[i] = ids.Incarnation(r.U32())
+	}
+	p.incVec.Merge(vclock.FromSlice(vec))
+	app := r.Bytes()
+	for to := 0; to < p.n; to++ {
+		cnt := r.ListLen()
+		p.sendLog[to] = make(map[uint64]logRec, cnt)
+		for i := 0; i < cnt && r.Err() == nil; i++ {
+			d := r.U64()
+			ssn := ids.SSN(r.U64())
+			payload := r.Bytes()
+			p.sendLog[to][d] = logRec{ssn: ssn, payload: payload}
+		}
+	}
+	r.Bytes() // padding
+	if !r.Done() {
+		return fmt.Errorf("fbl: corrupt checkpoint: %v", r.Err())
+	}
+	if err := p.app.Restore(app); err != nil {
+		return fmt.Errorf("fbl: restoring app snapshot: %w", err)
+	}
+	return nil
+}
+
+// scheduleCheckpoint arms the periodic checkpoint, staggered per process so
+// the cluster's checkpoints do not synchronize.
+func (p *Process) scheduleCheckpoint() {
+	if p.par.CheckpointEvery <= 0 {
+		return
+	}
+	first := p.par.CheckpointEvery +
+		p.par.CheckpointEvery*time.Duration(p.env.ID()+1)/time.Duration(p.n+1)
+	p.env.After(first, p.checkpointTick)
+}
+
+func (p *Process) checkpointTick() {
+	p.env.After(p.par.CheckpointEvery, p.checkpointTick)
+	if p.mode != ModeLive || p.cpBusy || p.blocked {
+		return
+	}
+	p.doCheckpoint()
+}
+
+// doCheckpoint captures and durably writes the state, then announces the
+// new garbage-collection watermarks.
+func (p *Process) doCheckpoint() {
+	data := p.encodeCheckpoint()
+	if p.par.SnapshotCPUPerByte > 0 {
+		p.env.Busy(time.Duration(len(data)) * p.par.SnapshotCPUPerByte)
+	}
+	p.cpBusy = true
+	rsnAt := p.rsn
+	expAt := make([]ids.SSN, p.n)
+	for i, d := range p.expDseq {
+		expAt[i] = ids.SSN(d)
+	}
+	// Compact the determinant journal up to the slowest piggyback cursor.
+	minCur := p.dets.Cursor()
+	for _, c := range p.detCursor {
+		if c >= 0 && c < minCur {
+			minCur = c
+		}
+	}
+	p.dets.Compact(minCur)
+	p.env.WriteStable(keyCheckpoint, data, func() {
+		p.cpBusy = false
+		p.cpRSN = rsnAt
+		// Our own determinants for deliveries the checkpoint covers will
+		// never be replayed again.
+		p.dets.GCReceiver(p.env.ID(), rsnAt)
+		notice := &wire.Envelope{
+			Kind:          wire.KindCheckpointNotice,
+			FromInc:       p.inc,
+			CPRsn:         rsnAt,
+			SSNWatermarks: expAt,
+		}
+		for q := 0; q < p.n; q++ {
+			if ids.ProcID(q) == p.env.ID() {
+				continue
+			}
+			p.env.Send(ids.ProcID(q), notice.Clone())
+		}
+		if p.cfg.Manetho() {
+			p.env.Send(ids.StorageProc, notice.Clone())
+		}
+	})
+}
+
+// onCheckpointNotice garbage-collects state the peer's checkpoint covers:
+// determinants of its deliveries, and our send-log entries it has consumed.
+func (p *Process) onCheckpointNotice(e *wire.Envelope) {
+	p.dets.GCReceiver(e.From, e.CPRsn)
+	self := int(p.env.ID())
+	if self < len(e.SSNWatermarks) && e.From.Valid(p.n) && !e.From.IsStorage() {
+		wm := uint64(e.SSNWatermarks[self])
+		log := p.sendLog[e.From]
+		for d := range log {
+			if d <= wm {
+				delete(log, d)
+			}
+		}
+	}
+}
+
+// restore is the recovery boot path: read the incarnation record and the
+// checkpoint (paying the stable-storage latency that dominates the paper's
+// five-second recoveries), then start the recovery protocol.
+func (p *Process) restore() {
+	p.env.ReadStable(keyIncarnation, func(incData []byte, okInc bool) {
+		p.env.ReadStable(keyCheckpoint, func(cpData []byte, okCP bool) {
+			prevInc := ids.Incarnation(1)
+			var prevClk uint64
+			if okInc {
+				if inc, clk, ok := parseIncRecord(incData); ok {
+					prevInc, prevClk = inc, clk
+				}
+			}
+			if okCP {
+				if err := p.decodeCheckpoint(cpData); err != nil {
+					panic(fmt.Sprintf("fbl: %v: %v", p.env.ID(), err))
+				}
+				p.cpRSN = p.rsn
+			}
+			// No checkpoint: the initial state (fresh app, Start not yet
+			// run) is itself a valid recovery point.
+			if p.inc < prevInc {
+				p.inc = prevInc
+			}
+			p.inc++
+			for p.lam.Now() < prevClk {
+				p.lam.Witness(prevClk - 1)
+			}
+			ord := ids.Ordinal{Clock: p.lam.Tick(), Proc: p.env.ID()}
+			p.writeIncRecord(func() {
+				if tr := p.env.Metrics().CurrentRecovery(); tr != nil {
+					tr.RestoredAt = p.env.Now()
+					tr.Incarnation = uint32(p.inc)
+				}
+				p.mode = ModeRecovering
+				p.env.Logf("fbl: restored at rsn %d, incarnation %d, ord %v", p.cpRSN, p.inc, ord)
+				p.mgr.StartRecovery(ord, p.inc)
+			})
+		})
+	})
+}

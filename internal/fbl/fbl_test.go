@@ -1,0 +1,366 @@
+package fbl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rollrec/internal/bitset"
+	"rollrec/internal/det"
+	"rollrec/internal/ids"
+	"rollrec/internal/metrics"
+	"rollrec/internal/node"
+	"rollrec/internal/recovery"
+	"rollrec/internal/storage"
+	"rollrec/internal/wire"
+	"rollrec/internal/workload"
+)
+
+// fakeEnv is a minimal node.Env for protocol unit tests: sends are
+// recorded, timers are collected (never fire), storage is immediate.
+type fakeEnv struct {
+	id     ids.ProcID
+	n      int
+	now    int64
+	sent   []*wire.Envelope
+	met    *metrics.Proc
+	stable *storage.Store
+	rng    *rand.Rand
+}
+
+type noopTimer struct{}
+
+func (noopTimer) Stop() {}
+
+func newFakeEnv(id ids.ProcID, n int) *fakeEnv {
+	return &fakeEnv{
+		id: id, n: n,
+		met:    metrics.NewProc(),
+		stable: storage.NewStore(),
+		rng:    rand.New(rand.NewSource(9)),
+	}
+}
+
+func (f *fakeEnv) ID() ids.ProcID { return f.id }
+func (f *fakeEnv) N() int         { return f.n }
+func (f *fakeEnv) Now() int64     { return f.now }
+func (f *fakeEnv) Send(to ids.ProcID, e *wire.Envelope) {
+	c := e.Clone()
+	c.From = f.id
+	c.To = to
+	f.sent = append(f.sent, c)
+}
+func (f *fakeEnv) After(time.Duration, func()) node.Timer { return noopTimer{} }
+func (f *fakeEnv) Busy(time.Duration)                     {}
+func (f *fakeEnv) ReadStable(k string, cb func([]byte, bool)) {
+	v, ok := f.stable.Get(k)
+	cb(v, ok)
+}
+func (f *fakeEnv) WriteStable(k string, d []byte, cb func()) {
+	f.stable.Put(k, d)
+	if cb != nil {
+		cb()
+	}
+}
+func (f *fakeEnv) Rand() *rand.Rand       { return f.rng }
+func (f *fakeEnv) Logf(string, ...any)    {}
+func (f *fakeEnv) Metrics() *metrics.Proc { return f.met }
+
+func (f *fakeEnv) takeKind(kind wire.Kind) []*wire.Envelope {
+	var out, rest []*wire.Envelope
+	for _, e := range f.sent {
+		if e.Kind == kind {
+			out = append(out, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	f.sent = rest
+	return out
+}
+
+func testParams(n, f int) Params {
+	return Params{
+		N: n, F: f,
+		App:             workload.NewRandomPeer(0, 0, 0, 0), // inert app
+		Style:           recovery.NonBlocking,
+		CheckpointEvery: time.Hour, // manual checkpoints only
+	}
+}
+
+func bootProc(t *testing.T, id ids.ProcID, n, f int) (*Process, *fakeEnv) {
+	t.Helper()
+	env := newFakeEnv(id, n)
+	p := New(testParams(n, f))().(*Process)
+	p.Boot(env, false)
+	env.sent = nil
+	return p, env
+}
+
+func appFrame(from ids.ProcID, inc ids.Incarnation, ssn ids.SSN, dseq uint64) *wire.Envelope {
+	return &wire.Envelope{
+		Kind: wire.KindApp, From: from, FromInc: inc, SSN: ssn, Dseq: dseq,
+		Payload: []byte{byte(ssn)},
+	}
+}
+
+func TestDeliverAssignsRSNAndDeterminant(t *testing.T) {
+	p, env := bootProc(t, 0, 3, 2)
+	p.Deliver(appFrame(1, 1, 7, 1))
+	if p.RSN() != 1 {
+		t.Fatalf("rsn = %d, want 1", p.RSN())
+	}
+	e, ok := p.dets.Lookup(ids.MsgID{Sender: 1, SSN: 7})
+	if !ok {
+		t.Fatal("own determinant not recorded")
+	}
+	if e.Det.Receiver != 0 || e.Det.RSN != 1 {
+		t.Fatalf("determinant = %v", e.Det)
+	}
+	if !e.Holders.Contains(0) {
+		t.Fatal("receiver must hold its own determinant")
+	}
+	if env.met.Delivered != 1 {
+		t.Fatalf("Delivered = %d", env.met.Delivered)
+	}
+}
+
+func TestStaleIncarnationRejected(t *testing.T) {
+	p, env := bootProc(t, 0, 3, 2)
+	p.learnIncarnation(1, 2)
+	p.Deliver(appFrame(1, 1, 7, 1))
+	if env.met.Stale != 1 || env.met.Delivered != 0 {
+		t.Fatalf("stale=%d delivered=%d, want 1/0", env.met.Stale, env.met.Delivered)
+	}
+	// The current incarnation passes.
+	p.Deliver(appFrame(1, 2, 7, 1))
+	if env.met.Delivered != 1 {
+		t.Fatal("current incarnation must be delivered")
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	p, env := bootProc(t, 0, 3, 2)
+	p.Deliver(appFrame(1, 1, 7, 1))
+	p.Deliver(appFrame(1, 1, 7, 1))
+	if env.met.Duplicate != 1 || env.met.Delivered != 1 {
+		t.Fatalf("dup=%d delivered=%d, want 1/1", env.met.Duplicate, env.met.Delivered)
+	}
+}
+
+func TestOutOfOrderBuffering(t *testing.T) {
+	p, env := bootProc(t, 0, 3, 2)
+	p.Deliver(appFrame(1, 1, 8, 2)) // early
+	if env.met.Delivered != 0 {
+		t.Fatal("gap must not be delivered")
+	}
+	p.Deliver(appFrame(1, 1, 7, 1))
+	if env.met.Delivered != 2 {
+		t.Fatalf("delivered = %d, want both after the gap filled", env.met.Delivered)
+	}
+	j := p.Journal()
+	if j[0].Msg.SSN != 7 || j[1].Msg.SSN != 8 {
+		t.Fatalf("delivery order wrong: %v", j)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	p, _ := bootProc(t, 0, 3, 2)
+	// Push some state through the process.
+	p.Deliver(appFrame(1, 1, 7, 1))
+	p.Deliver(appFrame(2, 1, 4, 1))
+	appCtx{p}.Send(1, []byte("payload-a"))
+	appCtx{p}.Send(2, []byte("payload-b"))
+	p.learnIncarnation(2, 3)
+	data := p.encodeCheckpoint()
+
+	q, _ := bootProc(t, 0, 3, 2)
+	if err := q.decodeCheckpoint(data); err != nil {
+		t.Fatal(err)
+	}
+	if q.ssn != p.ssn || q.rsn != p.rsn || q.started != p.started || q.inc != p.inc {
+		t.Fatal("counters did not round-trip")
+	}
+	for i := 0; i < 3; i++ {
+		if q.dseqOut[i] != p.dseqOut[i] || q.expDseq[i] != p.expDseq[i] {
+			t.Fatalf("per-peer counters differ at %d", i)
+		}
+	}
+	if q.incVec.Get(2) != 3 {
+		t.Fatal("incarnation vector did not round-trip")
+	}
+	rec, ok := q.sendLog[1][1]
+	if !ok || string(rec.payload) != "payload-a" {
+		t.Fatalf("send log did not round-trip: %+v", rec)
+	}
+	if q.app.Digest() != p.app.Digest() {
+		t.Fatal("app state did not round-trip")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	p, _ := bootProc(t, 0, 3, 2)
+	if err := p.decodeCheckpoint([]byte{9, 9, 9}); err == nil {
+		t.Fatal("garbage checkpoint must be rejected")
+	}
+}
+
+func TestCheckpointNoticeGCsSendLogAndDets(t *testing.T) {
+	p, _ := bootProc(t, 0, 3, 2)
+	appCtx{p}.Send(1, []byte("a")) // dseq 1
+	appCtx{p}.Send(1, []byte("b")) // dseq 2
+	appCtx{p}.Send(1, []byte("c")) // dseq 3
+	// Record a determinant for a delivery at p1.
+	if err := p.dets.Record(det.Entry{
+		Det: det.Determinant{Msg: ids.MsgID{Sender: 0, SSN: 1}, Receiver: 1, RSN: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// p1 checkpoints having delivered our dseq <= 2 and its rsn <= 5.
+	wm := make([]ids.SSN, 3)
+	wm[0] = 2
+	p.Deliver(&wire.Envelope{
+		Kind: wire.KindCheckpointNotice, From: 1, FromInc: 1,
+		CPRsn: 5, SSNWatermarks: wm,
+	})
+	if len(p.sendLog[1]) != 1 {
+		t.Fatalf("send log entries after GC = %d, want 1 (dseq 3)", len(p.sendLog[1]))
+	}
+	if _, ok := p.sendLog[1][3]; !ok {
+		t.Fatal("the uncovered entry must survive")
+	}
+	if _, ok := p.dets.Lookup(ids.MsgID{Sender: 0, SSN: 1}); ok {
+		t.Fatal("covered determinant must be GC'd")
+	}
+}
+
+func TestServeReplayResendsInOrder(t *testing.T) {
+	p, env := bootProc(t, 0, 3, 2)
+	appCtx{p}.Send(1, []byte("a"))
+	appCtx{p}.Send(1, []byte("b"))
+	appCtx{p}.Send(1, []byte("c"))
+	env.sent = nil
+	p.Deliver(&wire.Envelope{Kind: wire.KindReplayRequest, From: 1, FromInc: 2, Dseq: 1})
+	frames := env.takeKind(wire.KindApp)
+	if len(frames) != 2 {
+		t.Fatalf("retransmitted %d frames, want 2 (dseq > 1)", len(frames))
+	}
+	if frames[0].Dseq != 2 || frames[1].Dseq != 3 {
+		t.Fatalf("retransmission order wrong: %d, %d", frames[0].Dseq, frames[1].Dseq)
+	}
+	if string(frames[0].Payload) != "b" || string(frames[1].Payload) != "c" {
+		t.Fatal("retransmitted payloads wrong")
+	}
+}
+
+func TestPiggybackDedupPerDestination(t *testing.T) {
+	p, env := bootProc(t, 0, 3, 2)
+	p.Deliver(appFrame(1, 1, 7, 1)) // creates one pending determinant
+	env.sent = nil
+
+	appCtx{p}.Send(2, []byte("x"))
+	first := env.takeKind(wire.KindApp)
+	if len(first) != 1 || len(first[0].Dets) != 1 {
+		t.Fatalf("first send must piggyback the pending determinant, got %v", first)
+	}
+	appCtx{p}.Send(2, []byte("y"))
+	second := env.takeKind(wire.KindApp)
+	if len(second[0].Dets) != 0 {
+		t.Fatal("unchanged determinant must not be piggybacked twice to the same peer")
+	}
+	// A different destination still gets it.
+	appCtx{p}.Send(1, []byte("z"))
+	other := env.takeKind(wire.KindApp)
+	if len(other[0].Dets) != 1 {
+		t.Fatal("another peer must still receive the pending determinant")
+	}
+}
+
+func TestPiggybackResetOnReincarnation(t *testing.T) {
+	p, env := bootProc(t, 0, 3, 2)
+	p.Deliver(appFrame(1, 1, 7, 1))
+	env.sent = nil
+	appCtx{p}.Send(2, []byte("x"))
+	env.sent = nil
+	// p2 reincarnates: its volatile log died, the estimate must reset.
+	p.learnIncarnation(2, 2)
+	appCtx{p}.Send(2, []byte("y"))
+	frames := env.takeKind(wire.KindApp)
+	if len(frames[0].Dets) != 1 {
+		t.Fatal("reincarnated peer must receive pending determinants again")
+	}
+}
+
+func TestPiggybackStopsWhenStable(t *testing.T) {
+	p, env := bootProc(t, 0, 4, 1) // f=1: stable at 2 holders
+	p.Deliver(appFrame(1, 1, 7, 1))
+	// Learn that p2 also holds it: 2 holders = stable for f=1... but the
+	// entry here only has ourselves; merge a 2-holder copy.
+	if err := p.dets.Record(det.Entry{
+		Det:     det.Determinant{Msg: ids.MsgID{Sender: 1, SSN: 7}, Receiver: 0, RSN: 1},
+		Holders: holdersOf(0, 2),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env.sent = nil
+	appCtx{p}.Send(3, []byte("x"))
+	frames := env.takeKind(wire.KindApp)
+	if len(frames[0].Dets) != 0 {
+		t.Fatalf("stable determinant must not be piggybacked: %v", frames[0].Dets)
+	}
+}
+
+func holdersOf(elems ...int) (s bitset.Set) {
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[uint64]logRec{5: {}, 1: {}, 3: {}}
+	got := sortedKeys(m)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+	if len(sortedKeys(nil)) != 0 {
+		t.Fatal("empty map must give empty keys")
+	}
+}
+
+func TestHashBytes(t *testing.T) {
+	if hashBytes([]byte("a")) == hashBytes([]byte("b")) {
+		t.Fatal("different payloads must hash differently")
+	}
+	if hashBytes(nil) != hashBytes([]byte{}) {
+		t.Fatal("nil and empty must hash equally")
+	}
+}
+
+func TestIncRecordRoundTrip(t *testing.T) {
+	p, env := bootProc(t, 0, 3, 2)
+	p.inc = 4
+	for p.lam.Now() < 17 {
+		p.lam.Tick()
+	}
+	p.writeIncRecord(nil)
+	data, ok := env.stable.Get(keyIncarnation)
+	if !ok {
+		t.Fatal("inc record not written")
+	}
+	inc, clk, ok := parseIncRecord(data)
+	if !ok || inc != 4 || clk != 17 {
+		t.Fatalf("parsed (%d,%d,%v), want (4,17,true)", inc, clk, ok)
+	}
+	if _, _, ok := parseIncRecord([]byte{1}); ok {
+		t.Fatal("short record must be rejected")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m := ModeLive; m <= ModeReplaying; m++ {
+		if m.String() == "" {
+			t.Fatalf("mode %d has no name", m)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package fbl
+
+import (
+	"rollrec/internal/det"
+	"rollrec/internal/ids"
+	"rollrec/internal/recovery"
+	"rollrec/internal/workload"
+)
+
+// This file exposes read-only introspection for tests and experiments;
+// none of it is part of the protocol.
+
+// Mode returns the lifecycle mode.
+func (p *Process) Mode() Mode { return p.mode }
+
+// Incarnation returns the current incarnation number.
+func (p *Process) Incarnation() ids.Incarnation { return p.inc }
+
+// App returns the hosted application.
+func (p *Process) App() workload.App { return p.app }
+
+// Journal returns this instance's deliveries (in rsn order since this
+// incarnation booted). Volatile: a crash clears it.
+func (p *Process) Journal() []det.Determinant {
+	return append([]det.Determinant(nil), p.journal...)
+}
+
+// SSN returns the last assigned send sequence number.
+func (p *Process) SSN() ids.SSN { return p.ssn }
+
+// RSN returns the last assigned receive sequence number.
+func (p *Process) RSN() ids.RSN { return p.rsn }
+
+// Blocked reports whether the live process is currently deferring
+// application deliveries (blocking/Manetho styles during a gather).
+func (p *Process) Blocked() bool { return p.blocked }
+
+// DetEntries returns the current determinant log content.
+func (p *Process) DetEntries() []det.Entry { return p.dets.All() }
+
+// RecoveryState returns the recovery manager state.
+func (p *Process) RecoveryState() recovery.State { return p.mgr.State() }
+
+// SendLogSize returns the number of volatile send-log entries (all
+// destinations), a garbage-collection observability hook.
+func (p *Process) SendLogSize() int {
+	total := 0
+	for _, m := range p.sendLog {
+		total += len(m)
+	}
+	return total
+}
+
+// ReplayProgress exposes the replay engine's position for tests and
+// diagnostics: the next and final receive sequence numbers, how many
+// needed messages are still missing, and how many frames sit deferred.
+func (p *Process) ReplayProgress() (next, max ids.RSN, missing, deferred int) {
+	return p.nextRSN, p.maxRSN, len(p.needed), len(p.deferred)
+}
+
+// MissingReplays returns the still-unreceived replay messages as
+// (rsn, msgid) pairs in rsn order; diagnostics only.
+func (p *Process) MissingReplays() []det.Determinant {
+	out := make([]det.Determinant, 0, len(p.needed))
+	for id, rsn := range p.needed {
+		out = append(out, det.Determinant{Msg: id, Receiver: p.env.ID(), RSN: rsn})
+	}
+	sortByRSN(out)
+	return out
+}
+
+func sortByRSN(s []det.Determinant) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].RSN < s[j-1].RSN; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// SendLogSSNs returns the (dseq, ssn) pairs logged for destination q, in
+// dseq order; diagnostics only.
+func (p *Process) SendLogSSNs(q ids.ProcID) [][2]uint64 {
+	log := p.sendLog[q]
+	out := make([][2]uint64, 0, len(log))
+	for d, rec := range log {
+		out = append(out, [2]uint64{d, uint64(rec.ssn)})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ExpDseq returns the expected-dseq watermark for sender q.
+func (p *Process) ExpDseq(q ids.ProcID) uint64 { return p.expDseq[q] }
+
+// SetDebugReplay toggles verbose replay tracing (diagnostics only).
+func SetDebugReplay(v bool) { debugReplay = v }

@@ -1,0 +1,133 @@
+package fbl
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rollrec/internal/det"
+	"rollrec/internal/ids"
+	"rollrec/internal/wire"
+)
+
+// appCtx implements workload.Ctx on top of the protocol process.
+type appCtx struct{ p *Process }
+
+func (c appCtx) Self() ids.ProcID { return c.p.env.ID() }
+func (c appCtx) N() int           { return c.p.n }
+func (c appCtx) Work(d int64)     { c.p.env.Busy(time.Duration(d)) }
+func (c appCtx) Logf(format string, args ...any) {
+	c.p.env.Logf(format, args...)
+}
+
+// Send is the application send path: assign identifiers, log the message in
+// the sender's volatile store (sender-based message logging), attach the
+// causal piggyback, and transmit.
+func (c appCtx) Send(to ids.ProcID, payload []byte) {
+	p := c.p
+	if to == p.env.ID() || !to.Valid(p.n) || to.IsStorage() {
+		panic(fmt.Sprintf("fbl: %v: invalid app destination %v", p.env.ID(), to))
+	}
+	p.ssn++
+	p.dseqOut[to]++
+	dseq := p.dseqOut[to]
+	cp := append([]byte(nil), payload...)
+	p.sendLog[to][dseq] = logRec{ssn: p.ssn, payload: cp}
+	id := ids.MsgID{Sender: p.env.ID(), SSN: p.ssn}
+	if p.par.Hooks.OnSend != nil {
+		p.par.Hooks.OnSend(p.env.ID(), id, to, hashBytes(cp))
+	}
+	if debugReplay && p.mode == ModeReplaying {
+		p.env.Logf("REPLAYDBG send to=%v ssn=%d dseq=%d", to, p.ssn, dseq)
+	}
+	p.transmit(to, dseq, logRec{ssn: p.ssn, payload: cp})
+}
+
+// holderFingerprint folds a holder set into a comparable value.
+func holderFingerprint(e det.Entry) uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range e.Holders.Words() {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// transmit sends one logged application message (used by both fresh sends
+// and replay retransmissions). The piggyback carries every determinant not
+// yet known to be stable (§2.1) that the destination is not already known
+// to hold with the same holder information — the FBL estimate that stops
+// the propagation of a receipt order "as soon as it has been recorded in
+// f+1 hosts".
+func (p *Process) transmit(to ids.ProcID, dseq uint64, rec logRec) {
+	sent := p.detSent[to]
+	var piggy []det.Entry
+	consider := func(e det.Entry) {
+		fp := holderFingerprint(e)
+		if prev, ok := sent[e.Det.Msg]; ok && prev == fp {
+			return
+		}
+		sent[e.Det.Msg] = fp
+		piggy = append(piggy, e)
+	}
+	if p.detCursor[to] < 0 {
+		// The peer reincarnated: offer every pending determinant once.
+		for _, e := range p.dets.Pending() {
+			consider(e)
+		}
+		p.detCursor[to] = p.dets.Cursor()
+	} else {
+		p.detCursor[to] = p.dets.ScanPendingModified(p.detCursor[to], consider)
+	}
+	met := p.env.Metrics()
+	met.PiggybackDets += int64(len(piggy))
+	for i := range piggy {
+		met.PiggybackBytes += int64(32 + 8*len(piggy[i].Holders.Words()))
+	}
+	p.env.Send(to, &wire.Envelope{
+		Kind:    wire.KindApp,
+		FromInc: p.inc,
+		SSN:     rec.ssn,
+		Dseq:    dseq,
+		Payload: rec.payload,
+		Dets:    piggy,
+	})
+}
+
+// serveReplay answers a recovering process's retransmission request: resend
+// every logged message destined to it with dseq beyond its restored
+// watermark, in order. This covers both the messages it must re-deliver in
+// logged order and the in-flight ones it never delivered.
+func (p *Process) serveReplay(e *wire.Envelope) {
+	to := e.From
+	if !to.Valid(p.n) || to.IsStorage() {
+		return
+	}
+	// Serve each logged message at most once per requester incarnation:
+	// the periodic request retries exist to pick up entries regenerated
+	// since the last service (and to survive requester restarts, which
+	// change the incarnation and reset the memo). Without the memo every
+	// retry would re-send the full suffix and the requester would spend
+	// its recovery absorbing duplicates.
+	start := e.Dseq
+	if m := p.replayServed[to]; m.inc == e.FromInc && m.max > start {
+		start = m.max
+	}
+	log := p.sendLog[to]
+	dseqs := make([]uint64, 0, len(log))
+	for d := range log {
+		if d > start {
+			dseqs = append(dseqs, d)
+		}
+	}
+	sort.Slice(dseqs, func(i, j int) bool { return dseqs[i] < dseqs[j] })
+	if len(dseqs) == 0 {
+		return
+	}
+	p.env.Logf("fbl: replaying %d logged messages to %v (watermark %d, served %d)",
+		len(dseqs), to, e.Dseq, start)
+	for _, d := range dseqs {
+		p.transmit(to, d, log[d])
+	}
+	p.replayServed[to] = servedMark{inc: e.FromInc, max: dseqs[len(dseqs)-1]}
+}

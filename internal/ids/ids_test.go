@@ -1,0 +1,74 @@
+package ids
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcIDString(t *testing.T) {
+	if ProcID(3).String() != "p3" {
+		t.Fatalf("String = %q", ProcID(3).String())
+	}
+	if StorageProc.String() != "p[stable]" || Nobody.String() != "p[none]" {
+		t.Fatal("sentinel names wrong")
+	}
+}
+
+func TestProcIDValid(t *testing.T) {
+	if !ProcID(0).Valid(4) || !ProcID(3).Valid(4) || !StorageProc.Valid(4) {
+		t.Fatal("valid ids rejected")
+	}
+	if ProcID(4).Valid(4) || Nobody.Valid(4) || ProcID(-3).Valid(4) {
+		t.Fatal("invalid ids accepted")
+	}
+	if !StorageProc.IsStorage() || ProcID(0).IsStorage() {
+		t.Fatal("IsStorage wrong")
+	}
+}
+
+func TestMsgIDOrdering(t *testing.T) {
+	a := MsgID{Sender: 1, SSN: 5}
+	b := MsgID{Sender: 1, SSN: 6}
+	c := MsgID{Sender: 2, SSN: 1}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("Less ordering wrong")
+	}
+	if a.Less(a) {
+		t.Fatal("Less must be irreflexive")
+	}
+	s := []MsgID{c, b, a}
+	SortMsgIDs(s)
+	if s[0] != a || s[1] != b || s[2] != c {
+		t.Fatalf("SortMsgIDs = %v", s)
+	}
+}
+
+func TestMsgIDLessIsStrictWeakOrder(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := make([]MsgID, len(xs))
+		for i, x := range xs {
+			s[i] = MsgID{Sender: ProcID(x % 7), SSN: SSN(x / 7)}
+		}
+		SortMsgIDs(s)
+		return sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Less(s[j]) })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrdinalOrdering(t *testing.T) {
+	a := Ordinal{Clock: 1, Proc: 5}
+	b := Ordinal{Clock: 2, Proc: 0}
+	c := Ordinal{Clock: 2, Proc: 1}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("ordinal order wrong")
+	}
+	if !(Ordinal{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	if a.String() == "" || (MsgID{}).String() == "" {
+		t.Fatal("String must render")
+	}
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBlockedAccounting(t *testing.T) {
+	p := NewProc()
+	if p.Blocked() {
+		t.Fatal("fresh proc must not be blocked")
+	}
+	p.BlockStart(100)
+	if !p.Blocked() {
+		t.Fatal("BlockStart must open a span")
+	}
+	p.BlockStart(200) // idempotent: must not reset the start
+	p.BlockEnd(600)
+	if p.Blocked() {
+		t.Fatal("BlockEnd must close the span")
+	}
+	if p.BlockedTotal != 500 {
+		t.Fatalf("BlockedTotal = %v, want 500ns", p.BlockedTotal)
+	}
+	if p.BlockedSpans != 1 {
+		t.Fatalf("BlockedSpans = %d, want 1", p.BlockedSpans)
+	}
+	p.BlockEnd(700) // stray end must be a no-op
+	if p.BlockedTotal != 500 {
+		t.Fatalf("stray BlockEnd changed total: %v", p.BlockedTotal)
+	}
+}
+
+func TestSentReceivedCounters(t *testing.T) {
+	p := NewProc()
+	p.Sent(1, 100)
+	p.Sent(1, 50)
+	p.Sent(5, 10)
+	p.Received(1, 100)
+	if p.MsgsSent[1] != 2 || p.BytesSent[1] != 150 {
+		t.Fatalf("kind-1 counters: %d msgs %d bytes", p.MsgsSent[1], p.BytesSent[1])
+	}
+	msgs, bytes := p.TotalSent(false, 1)
+	if msgs != 3 || bytes != 160 {
+		t.Fatalf("TotalSent(all) = %d, %d", msgs, bytes)
+	}
+	msgs, bytes = p.TotalSent(true, 1)
+	if msgs != 1 || bytes != 10 {
+		t.Fatalf("TotalSent(control) = %d, %d", msgs, bytes)
+	}
+	p.Sent(200, 10) // out-of-range kind must not panic or count
+	if m, _ := p.TotalSent(false, 1); m != 3 {
+		t.Fatal("out-of-range kind must be ignored")
+	}
+}
+
+func TestStorageOp(t *testing.T) {
+	p := NewProc()
+	p.StorageOp(true, 1000, time.Millisecond)
+	p.StorageOp(false, 500, 2*time.Millisecond)
+	if p.StorageWrites != 1 || p.StorageReads != 1 {
+		t.Fatal("op counters wrong")
+	}
+	if p.StorageWriteBytes != 1000 || p.StorageReadBytes != 500 {
+		t.Fatal("byte counters wrong")
+	}
+	if p.StorageTime != 3*time.Millisecond {
+		t.Fatalf("StorageTime = %v", p.StorageTime)
+	}
+}
+
+func TestRecoveryTrace(t *testing.T) {
+	p := NewProc()
+	if p.CurrentRecovery() != nil {
+		t.Fatal("no trace expected before a crash")
+	}
+	p.Recoveries = append(p.Recoveries, RecoveryTrace{CrashedAt: 1000})
+	tr := p.CurrentRecovery()
+	if tr == nil || tr.CrashedAt != 1000 {
+		t.Fatal("CurrentRecovery must return the last trace")
+	}
+	tr.ReplayedAt = 6000
+	if got := p.Recoveries[0].Total(); got != 5000 {
+		t.Fatalf("Total = %v, want 5000ns (mutation through pointer must stick)", got)
+	}
+	if (RecoveryTrace{CrashedAt: 5}).Total() != 0 {
+		t.Fatal("incomplete trace must report 0")
+	}
+}
+
+func TestMeanBlocked(t *testing.T) {
+	a, b, c := NewProc(), NewProc(), NewProc()
+	a.BlockedTotal = 100
+	b.BlockedTotal = 300
+	c.BlockedTotal = 1000
+	cl := Cluster{Procs: []*Proc{a, b, c}}
+	mean, max := cl.MeanBlocked(nil)
+	if mean != 466 || max != 1000 {
+		t.Fatalf("MeanBlocked(all) = %v, %v", mean, max)
+	}
+	mean, max = cl.MeanBlocked([]int{0, 1})
+	if mean != 200 || max != 300 {
+		t.Fatalf("MeanBlocked(subset) = %v, %v", mean, max)
+	}
+	if m, x := (Cluster{}).MeanBlocked([]int{}); m != 0 || x != 0 {
+		t.Fatal("empty cluster must report zeros")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	ds := []time.Duration{40, 10, 30, 20}
+	if q := Quantile(ds, 0); q != 10 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(ds, 1); q != 40 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(ds, 0.5); q != 25 {
+		t.Fatalf("q50 = %v", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	// Input must not be reordered.
+	if ds[0] != 40 {
+		t.Fatal("Quantile must not mutate its input")
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{500 * time.Microsecond, "0.50ms"},
+		{52 * time.Millisecond, "52.0ms"},
+		{4900 * time.Millisecond, "4.90s"},
+	}
+	for _, c := range cases {
+		if got := FmtDuration(c.d); got != c.want {
+			t.Errorf("FmtDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package sim is a deterministic discrete-event simulator that executes
+// node.Process instances in virtual time.
+//
+// Every run with the same configuration and seed produces the identical
+// event sequence, which is what makes the failure-injection experiments and
+// the golden-run consistency checks possible. The kernel owns the clock,
+// the event queue, the network model, and per-node state (stable storage
+// survives crashes; the process image does not).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"rollrec/internal/ids"
+	"rollrec/internal/metrics"
+	"rollrec/internal/netmodel"
+	"rollrec/internal/node"
+	"rollrec/internal/storage"
+	"rollrec/internal/wire"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Seed drives every random stream in the simulation.
+	Seed int64
+	// HW is the hardware cost model.
+	HW node.Hardware
+	// Trace, if non-nil, receives human-readable event lines.
+	Trace io.Writer
+	// MaxEvents bounds the total number of processed events as a runaway
+	// guard; zero selects a generous default.
+	MaxEvents int64
+}
+
+const defaultMaxEvents = 200_000_000
+
+// event is one scheduled callback; seq breaks ties deterministically.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation instance. It is not safe for concurrent use:
+// construct, add nodes, then drive it from a single goroutine.
+type Kernel struct {
+	cfg    Config
+	now    int64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	net    *netmodel.Network
+	nodes  map[ids.ProcID]*nodeState
+	order  []ids.ProcID // insertion order, for deterministic boot
+	nApp   int
+	count  int64
+}
+
+// New returns a kernel with no nodes.
+func New(cfg Config) *Kernel {
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = defaultMaxEvents
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Kernel{
+		cfg:   cfg,
+		rng:   rng,
+		net:   netmodel.New(cfg.HW.Net, rand.New(rand.NewSource(cfg.Seed+1))),
+		nodes: make(map[ids.ProcID]*nodeState),
+	}
+}
+
+// AddNode registers a process slot. Application processes must be added
+// with ids 0..n-1; the stable-storage pseudo-process uses ids.StorageProc.
+func (k *Kernel) AddNode(id ids.ProcID, factory node.Factory) {
+	if _, dup := k.nodes[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate node %v", id))
+	}
+	ns := &nodeState{
+		k:       k,
+		id:      id,
+		factory: factory,
+		stable:  storage.NewStore(),
+		rng:     rand.New(rand.NewSource(k.cfg.Seed ^ (int64(id)+2)*0x9E3779B97F4A7C)),
+		met:     metrics.NewProc(),
+	}
+	k.nodes[id] = ns
+	k.order = append(k.order, id)
+	if !id.IsStorage() {
+		k.nApp++
+	}
+}
+
+// Boot starts every registered node with restart = false, in registration
+// order.
+func (k *Kernel) Boot() {
+	for _, id := range k.order {
+		ns := k.nodes[id]
+		ns.up = true
+		ns.proc = ns.factory()
+		ns.proc.Boot(ns, false)
+	}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Net exposes the network model for partition injection and counters.
+func (k *Kernel) Net() *netmodel.Network { return k.net }
+
+// Metrics returns the accumulator of the given node.
+func (k *Kernel) Metrics(id ids.ProcID) *metrics.Proc { return k.nodes[id].met }
+
+// Store returns the crash-surviving stable store of the given node.
+func (k *Kernel) Store(id ids.ProcID) *storage.Store { return k.nodes[id].stable }
+
+// ProcOf returns the current process instance of the node (nil while down);
+// tests use it for white-box inspection between Run calls.
+func (k *Kernel) ProcOf(id ids.ProcID) node.Process {
+	if ns := k.nodes[id]; ns != nil {
+		return ns.proc
+	}
+	return nil
+}
+
+// Up reports whether the node currently has a live process image.
+func (k *Kernel) Up(id ids.ProcID) bool {
+	ns := k.nodes[id]
+	return ns != nil && ns.up
+}
+
+// At schedules a harness callback at absolute virtual time d from start.
+func (k *Kernel) At(d time.Duration, fn func()) {
+	at := int64(d)
+	if at < k.now {
+		at = k.now
+	}
+	k.schedule(at, fn)
+}
+
+func (k *Kernel) schedule(at int64, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// Run processes events until virtual time `until` (from simulation start);
+// the clock then reads exactly `until`. It returns the number of events
+// processed by this call.
+func (k *Kernel) Run(until time.Duration) int64 {
+	limit := int64(until)
+	var processed int64
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&k.events)
+		if next.at > k.now {
+			k.now = next.at
+		}
+		next.fn()
+		processed++
+		k.count++
+		if k.count > k.cfg.MaxEvents {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (runaway schedule?)",
+				k.cfg.MaxEvents, time.Duration(k.now)))
+		}
+	}
+	if limit > k.now {
+		k.now = limit
+	}
+	return processed
+}
+
+// Crash kills node id immediately: the process image, its timers, and its
+// pending callbacks vanish; stable storage survives. A watchdog restart is
+// scheduled automatically after WatchdogDetect + RestartDelay.
+func (k *Kernel) Crash(id ids.ProcID) {
+	ns := k.nodes[id]
+	if ns == nil || !ns.up {
+		return
+	}
+	if id.IsStorage() {
+		panic("sim: the stable-storage pseudo-process never fails (paper §3.3)")
+	}
+	k.tracef("%v CRASH", id)
+	ns.up = false
+	ns.epoch++
+	ns.proc = nil
+	ns.busyUntil = 0
+	ns.met.BlockEnd(k.now) // a dead process is not "blocked"
+	ns.met.Recoveries = append(ns.met.Recoveries, metrics.RecoveryTrace{CrashedAt: k.now})
+	restartAt := k.now + int64(k.cfg.HW.WatchdogDetect) + int64(k.cfg.HW.RestartDelay)
+	k.schedule(restartAt, func() { k.restart(ns) })
+}
+
+// CrashAt schedules a crash of id at virtual time d from start.
+func (k *Kernel) CrashAt(d time.Duration, id ids.ProcID) {
+	k.At(d, func() { k.Crash(id) })
+}
+
+func (k *Kernel) restart(ns *nodeState) {
+	if ns.up {
+		return
+	}
+	k.tracef("%v RESTART", ns.id)
+	ns.up = true
+	ns.proc = ns.factory()
+	if tr := ns.met.CurrentRecovery(); tr != nil && tr.RestartedAt == 0 {
+		tr.RestartedAt = k.now
+	}
+	ns.proc.Boot(ns, true)
+}
+
+func (k *Kernel) tracef(format string, args ...any) {
+	if k.cfg.Trace != nil {
+		fmt.Fprintf(k.cfg.Trace, "[%12s] ", time.Duration(k.now))
+		fmt.Fprintf(k.cfg.Trace, format, args...)
+		fmt.Fprintln(k.cfg.Trace)
+	}
+}
+
+// nodeState implements node.Env for one node.
+type nodeState struct {
+	k         *Kernel
+	id        ids.ProcID
+	factory   node.Factory
+	proc      node.Process
+	up        bool
+	epoch     uint64
+	busyUntil int64
+	stable    *storage.Store
+	rng       *rand.Rand
+	met       *metrics.Proc
+}
+
+var _ node.Env = (*nodeState)(nil)
+
+func (ns *nodeState) ID() ids.ProcID         { return ns.id }
+func (ns *nodeState) N() int                 { return ns.k.nApp }
+func (ns *nodeState) Now() int64             { return ns.k.now }
+func (ns *nodeState) Rand() *rand.Rand       { return ns.rng }
+func (ns *nodeState) Metrics() *metrics.Proc { return ns.met }
+
+func (ns *nodeState) Logf(format string, args ...any) {
+	if ns.k.cfg.Trace != nil {
+		ns.k.tracef("%v: %s", ns.id, fmt.Sprintf(format, args...))
+	}
+}
+
+// Busy charges CPU time: deliveries and timers that arrive while the
+// process is busy are deferred until it is free.
+func (ns *nodeState) Busy(d time.Duration) {
+	start := ns.k.now
+	if ns.busyUntil > start {
+		start = ns.busyUntil
+	}
+	ns.busyUntil = start + int64(d)
+}
+
+func (ns *nodeState) Send(to ids.ProcID, e *wire.Envelope) {
+	if !ns.up {
+		return
+	}
+	if to == ns.id {
+		panic(fmt.Sprintf("sim: %v sent to itself", ns.id))
+	}
+	e.From = ns.id
+	frame := wire.Encode(e)
+	ns.Busy(ns.k.cfg.HW.SendCost(len(frame)))
+	ns.met.Sent(uint8(e.Kind), len(frame))
+	at, ok := ns.k.net.Schedule(ns.k.now, ns.id, to, len(frame))
+	if !ok {
+		return
+	}
+	k := ns.k
+	k.schedule(at, func() { k.deliverFrame(to, frame) })
+}
+
+// deliverFrame is the network-side arrival of an encoded frame.
+func (k *Kernel) deliverFrame(to ids.ProcID, frame []byte) {
+	ns := k.nodes[to]
+	if ns == nil {
+		return
+	}
+	if !ns.up {
+		ns.met.Dropped++
+		return
+	}
+	ns.exec(ns.epoch, func() {
+		e, err := wire.Decode(frame)
+		if err != nil {
+			panic(fmt.Sprintf("sim: undecodable frame for %v: %v", to, err))
+		}
+		ns.Busy(k.cfg.HW.SendCost(len(frame)))
+		ns.met.Received(uint8(e.Kind), len(frame))
+		k.tracef("%v <- %v %v", to, e.From, e.Kind)
+		ns.proc.Deliver(e)
+	})
+}
+
+// exec runs fn when the process is free, dropping it if the process
+// instance it belongs to has since crashed.
+func (ns *nodeState) exec(epoch uint64, fn func()) {
+	if ns.epoch != epoch || !ns.up {
+		return
+	}
+	if ns.busyUntil > ns.k.now {
+		resume := ns.busyUntil
+		ns.k.schedule(resume, func() { ns.exec(epoch, fn) })
+		return
+	}
+	fn()
+}
+
+type simTimer struct{ stopped bool }
+
+func (t *simTimer) Stop() { t.stopped = true }
+
+func (ns *nodeState) After(d time.Duration, fn func()) node.Timer {
+	t := &simTimer{}
+	epoch := ns.epoch
+	ns.k.schedule(ns.k.now+int64(d), func() {
+		if t.stopped {
+			return
+		}
+		ns.exec(epoch, fn)
+	})
+	return t
+}
+
+func (ns *nodeState) ReadStable(key string, cb func(data []byte, ok bool)) {
+	data, ok := ns.stable.Get(key)
+	dur := ns.k.cfg.HW.Disk.ReadTime(len(data))
+	ns.met.StorageOp(false, len(data), dur)
+	epoch := ns.epoch
+	ns.k.schedule(ns.k.now+int64(dur), func() {
+		ns.exec(epoch, func() { cb(data, ok) })
+	})
+}
+
+func (ns *nodeState) WriteStable(key string, data []byte, cb func()) {
+	cp := append([]byte(nil), data...)
+	dur := ns.k.cfg.HW.Disk.WriteTime(len(cp))
+	ns.met.StorageOp(true, len(cp), dur)
+	epoch := ns.epoch
+	ns.k.schedule(ns.k.now+int64(dur), func() {
+		// Durability happens at completion: a crash while the write is in
+		// flight loses it, like a disk without a committed block.
+		if ns.epoch != epoch {
+			return
+		}
+		ns.stable.Put(key, cp)
+		ns.exec(epoch, func() {
+			if cb != nil {
+				cb()
+			}
+		})
+	})
+}

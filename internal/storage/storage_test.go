@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostModel(t *testing.T) {
+	p := Params{Latency: 10 * time.Millisecond, ReadBandwidth: 1e6, WriteBandwidth: 2e6}
+	if got := p.ReadTime(1_000_000); got != 10*time.Millisecond+time.Second {
+		t.Fatalf("ReadTime = %v", got)
+	}
+	if got := p.WriteTime(1_000_000); got != 10*time.Millisecond+500*time.Millisecond {
+		t.Fatalf("WriteTime = %v", got)
+	}
+	if got := p.ReadTime(0); got != 10*time.Millisecond {
+		t.Fatalf("zero-byte read must still pay latency: %v", got)
+	}
+	free := Params{}
+	if got := free.WriteTime(1 << 20); got != 0 {
+		t.Fatalf("zero params must be free: %v", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Params{Latency: 10 * time.Millisecond, ReadBandwidth: 1e6, WriteBandwidth: 1e6}
+	s := p.Scale(4)
+	if s.Latency != 40*time.Millisecond {
+		t.Fatalf("scaled latency = %v", s.Latency)
+	}
+	if s.ReadBandwidth != 0.25e6 {
+		t.Fatalf("scaled bandwidth = %v", s.ReadBandwidth)
+	}
+	// Scaling must compose: a 4x slower disk reads 4x slower.
+	if got, want := s.ReadTime(1_000_000), 40*time.Millisecond+4*time.Second; got != want {
+		t.Fatalf("scaled ReadTime = %v, want %v", got, want)
+	}
+}
+
+func TestStorePutGetIsolation(t *testing.T) {
+	s := NewStore()
+	data := []byte("checkpoint-1")
+	s.Put("cp", data)
+	data[0] = 'X' // caller mutation must not reach the store
+	got, ok := s.Get("cp")
+	if !ok || string(got) != "checkpoint-1" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	got[0] = 'Y' // reader mutation must not reach the store
+	again, _ := s.Get("cp")
+	if string(again) != "checkpoint-1" {
+		t.Fatal("Get must return a copy")
+	}
+}
+
+func TestStoreMissingAndDelete(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("missing key must report !ok")
+	}
+	s.Put("k", []byte("v"))
+	if s.Size("k") != 1 {
+		t.Fatalf("Size = %d", s.Size("k"))
+	}
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key must be gone")
+	}
+	if s.Size("k") != 0 {
+		t.Fatal("deleted key must report size 0")
+	}
+}
+
+func TestStoreKeysSorted(t *testing.T) {
+	s := NewStore()
+	s.Put("b", nil)
+	s.Put("a", nil)
+	s.Put("c", nil)
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestDisk1995RestoreIsSubSecond(t *testing.T) {
+	// The paper's ~1 MB process restores in roughly half a second on the
+	// era's disk — the constant the E2 five-second breakdown builds on.
+	d := Disk1995()
+	got := d.ReadTime(1 << 20)
+	if got < 300*time.Millisecond || got > 900*time.Millisecond {
+		t.Fatalf("1 MB restore = %v, want ~0.5s", got)
+	}
+}

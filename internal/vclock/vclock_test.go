@@ -1,0 +1,181 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rollrec/internal/ids"
+)
+
+func TestLamportTick(t *testing.T) {
+	var l Lamport
+	if l.Now() != 0 {
+		t.Fatal("zero-value clock must read 0")
+	}
+	if got := l.Tick(); got != 1 {
+		t.Fatalf("first Tick = %d, want 1", got)
+	}
+	if got := l.Tick(); got != 2 {
+		t.Fatalf("second Tick = %d, want 2", got)
+	}
+}
+
+func TestLamportWitness(t *testing.T) {
+	var l Lamport
+	l.Tick() // 1
+	if got := l.Witness(10); got != 11 {
+		t.Fatalf("Witness(10) = %d, want 11", got)
+	}
+	if got := l.Witness(3); got != 12 {
+		t.Fatalf("Witness(3) = %d, want 12 (must still advance)", got)
+	}
+}
+
+func TestLamportMonotone(t *testing.T) {
+	f := func(remotes []uint64) bool {
+		var l Lamport
+		prev := l.Now()
+		for _, r := range remotes {
+			now := l.Witness(r % 1000)
+			if now <= prev || now <= r%1000 {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncVectorBasics(t *testing.T) {
+	v := NewIncVector(4)
+	for p := ids.ProcID(0); p < 4; p++ {
+		if v.Get(p) != 1 {
+			t.Fatalf("initial incarnation of %v = %d, want 1", p, v.Get(p))
+		}
+	}
+	if v.Get(ids.StorageProc) != 1 {
+		t.Fatal("storage process must always be incarnation 1")
+	}
+	if v.Get(99) != 0 {
+		t.Fatal("out-of-range process must report 0")
+	}
+}
+
+func TestIncVectorBump(t *testing.T) {
+	v := NewIncVector(3)
+	if !v.Bump(1, 2) {
+		t.Fatal("bump to newer incarnation must change vector")
+	}
+	if v.Bump(1, 2) {
+		t.Fatal("re-bump to same incarnation must be a no-op")
+	}
+	if v.Bump(1, 1) {
+		t.Fatal("bump to older incarnation must be a no-op")
+	}
+	if v.Get(1) != 2 {
+		t.Fatalf("Get(1) = %d, want 2", v.Get(1))
+	}
+	if v.Bump(ids.StorageProc, 5) {
+		t.Fatal("storage process incarnation must never change")
+	}
+}
+
+func TestIncVectorStale(t *testing.T) {
+	v := NewIncVector(3)
+	v.Bump(2, 3)
+	if v.Stale(2, 3) {
+		t.Fatal("current incarnation must not be stale")
+	}
+	if !v.Stale(2, 2) {
+		t.Fatal("older incarnation must be stale")
+	}
+	if v.Stale(2, 4) {
+		t.Fatal("newer incarnation must not be stale")
+	}
+	if v.Stale(ids.StorageProc, 1) {
+		t.Fatal("storage process is never stale")
+	}
+}
+
+func TestIncVectorMerge(t *testing.T) {
+	a := NewIncVector(3)
+	b := NewIncVector(3)
+	a.Bump(0, 5)
+	b.Bump(1, 4)
+	if !a.Merge(b) {
+		t.Fatal("merge bringing news must report change")
+	}
+	if a.Get(0) != 5 || a.Get(1) != 4 || a.Get(2) != 1 {
+		t.Fatalf("merge result wrong: %v", a)
+	}
+	if a.Merge(b) {
+		t.Fatal("second merge must be a no-op")
+	}
+}
+
+func vecFrom(raw []uint8, n int) IncVector {
+	v := NewIncVector(n)
+	for i, r := range raw {
+		v.Bump(ids.ProcID(i%n), ids.Incarnation(1+r%7))
+	}
+	return v
+}
+
+func TestQuickMergeCommutative(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 8
+		a1, b1 := vecFrom(xs, n), vecFrom(ys, n)
+		a2, b2 := b1.Clone(), a1.Clone()
+		a1.Merge(b1)
+		a2.Merge(b2)
+		return a1.Equal(a2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeIdempotent(t *testing.T) {
+	f := func(xs []uint8) bool {
+		const n = 8
+		a := vecFrom(xs, n)
+		b := a.Clone()
+		if a.Merge(b) {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeAssociative(t *testing.T) {
+	f := func(xs, ys, zs []uint8) bool {
+		const n = 8
+		// (a ∨ b) ∨ c == a ∨ (b ∨ c)
+		left := vecFrom(xs, n)
+		left.Merge(vecFrom(ys, n))
+		left.Merge(vecFrom(zs, n))
+		bc := vecFrom(ys, n)
+		bc.Merge(vecFrom(zs, n))
+		right := vecFrom(xs, n)
+		right.Merge(bc)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	v := NewIncVector(5)
+	v.Bump(3, 9)
+	got := FromSlice(v.Slice())
+	if !got.Equal(v) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, v)
+	}
+}

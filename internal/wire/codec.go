@@ -1,0 +1,399 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rollrec/internal/bitset"
+	"rollrec/internal/det"
+	"rollrec/internal/ids"
+)
+
+// codecVersion is bumped on any incompatible format change.
+const codecVersion = 1
+
+// maxListLen bounds every decoded list length to catch corrupted frames
+// before they trigger huge allocations.
+const maxListLen = 1 << 22
+
+// Sentinel decoding errors.
+var (
+	ErrTruncated  = errors.New("wire: truncated frame")
+	ErrBadVersion = errors.New("wire: unknown codec version")
+	ErrBadKind    = errors.New("wire: unknown envelope kind")
+	ErrOversized  = errors.New("wire: list length exceeds limit")
+)
+
+// Presence bits: only non-empty optional fields are written, keeping the
+// common heartbeat/app frames small.
+const (
+	hasPayload = 1 << iota
+	hasDets
+	hasCPRsn
+	hasSSNWatermarks
+	hasOrd
+	hasRound
+	hasIncVec
+	hasMsgIDs
+	hasSSN
+	hasDseq
+)
+
+// Writer is a little-endian append-only frame builder shared by the envelope
+// codec and the checkpoint codec. The zero value is ready to use.
+type Writer struct{ buf []byte }
+
+// NewWriter returns a writer with the given initial capacity.
+func NewWriter(capacity int) *Writer { return &Writer{buf: make([]byte, 0, capacity)} }
+
+// Frame returns the accumulated bytes.
+func (w *Writer) Frame() []byte { return w.buf }
+
+func (w *Writer) U8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *Writer) I32(v int32)  { w.U32(uint32(v)) }
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Reader is the matching cursor-based frame parser. Errors are sticky: after
+// the first failure every subsequent read returns zero values and Err()
+// reports the cause.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over the given frame.
+func NewReader(frame []byte) *Reader { return &Reader{buf: frame} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Done reports whether the whole frame was consumed without error.
+func (r *Reader) Done() bool { return r.err == nil && r.off == len(r.buf) }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return false
+	}
+	return true
+}
+
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *Reader) U16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+func (r *Reader) ListLen() int {
+	n := r.U32()
+	if n > maxListLen {
+		r.fail(ErrOversized)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *Reader) Bytes() []byte {
+	n := r.ListLen()
+	if n == 0 || !r.need(n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+func presence(e *Envelope) uint16 {
+	var p uint16
+	if len(e.Payload) > 0 {
+		p |= hasPayload
+	}
+	if len(e.Dets) > 0 {
+		p |= hasDets
+	}
+	if e.CPRsn != 0 {
+		p |= hasCPRsn
+	}
+	if len(e.SSNWatermarks) > 0 {
+		p |= hasSSNWatermarks
+	}
+	if !e.Ord.IsZero() {
+		p |= hasOrd
+	}
+	if e.Round != 0 {
+		p |= hasRound
+	}
+	if len(e.IncVec) > 0 {
+		p |= hasIncVec
+	}
+	if len(e.MsgIDs) > 0 {
+		p |= hasMsgIDs
+	}
+	if e.SSN != 0 {
+		p |= hasSSN
+	}
+	if e.Dseq != 0 {
+		p |= hasDseq
+	}
+	return p
+}
+
+// Encode serializes the envelope to a self-contained frame.
+func Encode(e *Envelope) []byte {
+	w := &Writer{buf: make([]byte, 0, 64+len(e.Payload))}
+	w.U8(codecVersion)
+	w.U8(uint8(e.Kind))
+	w.I32(int32(e.From))
+	w.I32(int32(e.To))
+	w.U32(uint32(e.FromInc))
+	p := presence(e)
+	w.U16(p)
+	if p&hasSSN != 0 {
+		w.U64(uint64(e.SSN))
+	}
+	if p&hasDseq != 0 {
+		w.U64(e.Dseq)
+	}
+	if p&hasPayload != 0 {
+		w.Bytes(e.Payload)
+	}
+	if p&hasDets != 0 {
+		w.U32(uint32(len(e.Dets)))
+		for i := range e.Dets {
+			encodeEntry(w, &e.Dets[i])
+		}
+	}
+	if p&hasCPRsn != 0 {
+		w.U64(uint64(e.CPRsn))
+	}
+	if p&hasSSNWatermarks != 0 {
+		w.U32(uint32(len(e.SSNWatermarks)))
+		for _, s := range e.SSNWatermarks {
+			w.U64(uint64(s))
+		}
+	}
+	if p&hasOrd != 0 {
+		w.U64(e.Ord.Clock)
+		w.I32(int32(e.Ord.Proc))
+	}
+	if p&hasRound != 0 {
+		w.U32(e.Round)
+	}
+	if p&hasIncVec != 0 {
+		w.U32(uint32(len(e.IncVec)))
+		for _, inc := range e.IncVec {
+			w.U32(uint32(inc))
+		}
+	}
+	if p&hasMsgIDs != 0 {
+		w.U32(uint32(len(e.MsgIDs)))
+		for _, id := range e.MsgIDs {
+			w.I32(int32(id.Sender))
+			w.U64(uint64(id.SSN))
+		}
+	}
+	return w.buf
+}
+
+func encodeEntry(w *Writer, e *det.Entry) {
+	w.I32(int32(e.Det.Msg.Sender))
+	w.U64(uint64(e.Det.Msg.SSN))
+	w.I32(int32(e.Det.Receiver))
+	w.U64(uint64(e.Det.RSN))
+	words := e.Holders.Words()
+	w.U8(uint8(len(words)))
+	for _, word := range words {
+		w.U64(word)
+	}
+}
+
+func decodeEntry(r *Reader) det.Entry {
+	var e det.Entry
+	e.Det.Msg.Sender = ids.ProcID(r.I32())
+	e.Det.Msg.SSN = ids.SSN(r.U64())
+	e.Det.Receiver = ids.ProcID(r.I32())
+	e.Det.RSN = ids.RSN(r.U64())
+	nw := int(r.U8())
+	if nw > 0 {
+		words := make([]uint64, nw)
+		for i := range words {
+			words[i] = r.U64()
+		}
+		e.Holders = bitset.FromWords(words)
+	}
+	return e
+}
+
+// Decode parses a frame produced by Encode.
+func Decode(frame []byte) (*Envelope, error) {
+	r := &Reader{buf: frame}
+	if v := r.U8(); r.err == nil && v != codecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	kind := Kind(r.U8())
+	if r.err == nil && (kind == 0 || kind >= kindMax) {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+	e := &Envelope{Kind: kind}
+	e.From = ids.ProcID(r.I32())
+	e.To = ids.ProcID(r.I32())
+	e.FromInc = ids.Incarnation(r.U32())
+	p := r.U16()
+	if p&hasSSN != 0 {
+		e.SSN = ids.SSN(r.U64())
+	}
+	if p&hasDseq != 0 {
+		e.Dseq = r.U64()
+	}
+	if p&hasPayload != 0 {
+		e.Payload = r.Bytes()
+	}
+	if p&hasDets != 0 {
+		n := r.ListLen()
+		if r.err == nil && n > 0 {
+			e.Dets = make([]det.Entry, 0, min(n, 4096))
+			for i := 0; i < n && r.err == nil; i++ {
+				e.Dets = append(e.Dets, decodeEntry(r))
+			}
+		}
+	}
+	if p&hasCPRsn != 0 {
+		e.CPRsn = ids.RSN(r.U64())
+	}
+	if p&hasSSNWatermarks != 0 {
+		n := r.ListLen()
+		if r.err == nil && n > 0 {
+			e.SSNWatermarks = make([]ids.SSN, 0, min(n, 4096))
+			for i := 0; i < n && r.err == nil; i++ {
+				e.SSNWatermarks = append(e.SSNWatermarks, ids.SSN(r.U64()))
+			}
+		}
+	}
+	if p&hasOrd != 0 {
+		e.Ord.Clock = r.U64()
+		e.Ord.Proc = ids.ProcID(r.I32())
+	}
+	if p&hasRound != 0 {
+		e.Round = r.U32()
+	}
+	if p&hasIncVec != 0 {
+		n := r.ListLen()
+		if r.err == nil && n > 0 {
+			e.IncVec = make([]ids.Incarnation, 0, min(n, 4096))
+			for i := 0; i < n && r.err == nil; i++ {
+				e.IncVec = append(e.IncVec, ids.Incarnation(r.U32()))
+			}
+		}
+	}
+	if p&hasMsgIDs != 0 {
+		n := r.ListLen()
+		if r.err == nil && n > 0 {
+			e.MsgIDs = make([]ids.MsgID, 0, min(n, 4096))
+			for i := 0; i < n && r.err == nil; i++ {
+				var id ids.MsgID
+				id.Sender = ids.ProcID(r.I32())
+				id.SSN = ids.SSN(r.U64())
+				e.MsgIDs = append(e.MsgIDs, id)
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(frame) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(frame)-r.off)
+	}
+	return e, nil
+}
+
+// Size returns the encoded length of the envelope without allocating the
+// frame; the network model charges bandwidth by this number. It is kept in
+// lockstep with Encode by tests.
+func Size(e *Envelope) int {
+	n := 1 + 1 + 4 + 4 + 4 + 2 // version, kind, from, to, inc, presence
+	p := presence(e)
+	if p&hasSSN != 0 {
+		n += 8
+	}
+	if p&hasDseq != 0 {
+		n += 8
+	}
+	if p&hasPayload != 0 {
+		n += 4 + len(e.Payload)
+	}
+	if p&hasDets != 0 {
+		n += 4
+		for i := range e.Dets {
+			n += 4 + 8 + 4 + 8 + 1 + 8*len(e.Dets[i].Holders.Words())
+		}
+	}
+	if p&hasCPRsn != 0 {
+		n += 8
+	}
+	if p&hasSSNWatermarks != 0 {
+		n += 4 + 8*len(e.SSNWatermarks)
+	}
+	if p&hasOrd != 0 {
+		n += 12
+	}
+	if p&hasRound != 0 {
+		n += 4
+	}
+	if p&hasIncVec != 0 {
+		n += 4 + 4*len(e.IncVec)
+	}
+	if p&hasMsgIDs != 0 {
+		n += 4 + 12*len(e.MsgIDs)
+	}
+	return n
+}

@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"rollrec/internal/bitset"
+	"rollrec/internal/det"
+	"rollrec/internal/ids"
+)
+
+func sampleEnvelopes() []*Envelope {
+	return []*Envelope{
+		{Kind: KindHeartbeat, From: 1, To: 2, FromInc: 1},
+		{
+			Kind: KindApp, From: 0, To: 3, FromInc: 2, SSN: 77, Dseq: 12,
+			Payload: []byte("hello"),
+			Dets: []det.Entry{
+				{
+					Det:     det.Determinant{Msg: ids.MsgID{Sender: 0, SSN: 1}, Receiver: 3, RSN: 9},
+					Holders: bitset.FromSlice([]int{0, 3, 64}),
+				},
+			},
+		},
+		{
+			Kind: KindCheckpointNotice, From: 2, To: 0, FromInc: 1,
+			CPRsn: 42, SSNWatermarks: []ids.SSN{1, 0, 7, 3},
+		},
+		{
+			Kind: KindDepRequest, From: 1, To: 2, FromInc: 3,
+			Ord: ids.Ordinal{Clock: 12, Proc: 1}, Round: 2,
+			IncVec: []ids.Incarnation{1, 3, 1, 2},
+		},
+		{
+			Kind: KindReplayRequest, From: 1, To: 0, FromInc: 3,
+			MsgIDs: []ids.MsgID{{Sender: 0, SSN: 4}, {Sender: 0, SSN: 5}},
+		},
+		{
+			Kind: KindDetsToStorage, From: 2, To: ids.StorageProc, FromInc: 1,
+			Dets: []det.Entry{
+				{Det: det.Determinant{Msg: ids.MsgID{Sender: 2, SSN: 8}, Receiver: 1, RSN: 3}},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, e := range sampleEnvelopes() {
+		frame := Encode(e)
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", e.Kind, err)
+		}
+		if !equalEnvelopes(e, got) {
+			t.Fatalf("%v: round trip mismatch:\n in: %+v\nout: %+v", e.Kind, e, got)
+		}
+	}
+}
+
+// equalEnvelopes compares semantically: bitsets with different capacities
+// but equal contents compare equal.
+func equalEnvelopes(a, b *Envelope) bool {
+	if a.Kind != b.Kind || a.From != b.From || a.To != b.To || a.FromInc != b.FromInc ||
+		a.SSN != b.SSN || a.Dseq != b.Dseq || a.CPRsn != b.CPRsn || a.Ord != b.Ord || a.Round != b.Round {
+		return false
+	}
+	if !bytes.Equal(a.Payload, b.Payload) {
+		return false
+	}
+	if len(a.Dets) != len(b.Dets) {
+		return false
+	}
+	for i := range a.Dets {
+		if a.Dets[i].Det != b.Dets[i].Det || !a.Dets[i].Holders.Equal(b.Dets[i].Holders) {
+			return false
+		}
+	}
+	if len(a.SSNWatermarks) != len(b.SSNWatermarks) || len(a.IncVec) != len(b.IncVec) ||
+		len(a.MsgIDs) != len(b.MsgIDs) {
+		return false
+	}
+	for i := range a.SSNWatermarks {
+		if a.SSNWatermarks[i] != b.SSNWatermarks[i] {
+			return false
+		}
+	}
+	for i := range a.IncVec {
+		if a.IncVec[i] != b.IncVec[i] {
+			return false
+		}
+	}
+	for i := range a.MsgIDs {
+		if a.MsgIDs[i] != b.MsgIDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSizeMatchesEncode(t *testing.T) {
+	for _, e := range sampleEnvelopes() {
+		if got, want := Size(e), len(Encode(e)); got != want {
+			t.Errorf("%v: Size = %d, Encode length = %d", e.Kind, got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := Encode(sampleEnvelopes()[1])
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Decode(nil); err == nil {
+			t.Fatal("decoding empty frame must fail")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[0] = 99
+		if _, err := Decode(bad); err == nil {
+			t.Fatal("bad version must fail")
+		}
+	})
+	t.Run("bad kind", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[1] = 0
+		if _, err := Decode(bad); err == nil {
+			t.Fatal("kind 0 must fail")
+		}
+		bad[1] = byte(kindMax)
+		if _, err := Decode(bad); err == nil {
+			t.Fatal("kind out of range must fail")
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 1; cut < len(good); cut++ {
+			if _, err := Decode(good[:cut]); err == nil {
+				t.Fatalf("truncation at %d must fail", cut)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), good...), 0xFF)); err == nil {
+			t.Fatal("trailing bytes must fail")
+		}
+	})
+}
+
+// randomEnvelope builds an arbitrary but valid envelope from fuzz input.
+func randomEnvelope(rng *rand.Rand) *Envelope {
+	e := &Envelope{
+		Kind:    Kind(1 + rng.Intn(int(kindMax)-1)),
+		From:    ids.ProcID(rng.Intn(8)),
+		To:      ids.ProcID(rng.Intn(8)),
+		FromInc: ids.Incarnation(rng.Intn(5)),
+		SSN:     ids.SSN(rng.Intn(100)),
+		Dseq:    uint64(rng.Intn(50)),
+		Round:   uint32(rng.Intn(3)),
+		CPRsn:   ids.RSN(rng.Intn(50)),
+	}
+	if rng.Intn(2) == 0 {
+		e.Payload = make([]byte, rng.Intn(64))
+		rng.Read(e.Payload)
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		holders := bitset.Set{}
+		for j, m := 0, rng.Intn(4); j < m; j++ {
+			holders.Add(rng.Intn(65))
+		}
+		e.Dets = append(e.Dets, det.Entry{
+			Det: det.Determinant{
+				Msg:      ids.MsgID{Sender: ids.ProcID(rng.Intn(8)), SSN: ids.SSN(rng.Intn(1000))},
+				Receiver: ids.ProcID(rng.Intn(8)),
+				RSN:      ids.RSN(rng.Intn(1000)),
+			},
+			Holders: holders,
+		})
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		e.SSNWatermarks = append(e.SSNWatermarks, ids.SSN(rng.Intn(100)))
+		e.IncVec = append(e.IncVec, ids.Incarnation(rng.Intn(5)))
+		e.MsgIDs = append(e.MsgIDs, ids.MsgID{Sender: ids.ProcID(rng.Intn(8)), SSN: ids.SSN(rng.Intn(100))})
+	}
+	if rng.Intn(3) == 0 {
+		e.Ord = ids.Ordinal{Clock: uint64(1 + rng.Intn(100)), Proc: ids.ProcID(rng.Intn(8))}
+	}
+	return e
+}
+
+func TestQuickRoundTripAndSize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomEnvelope(rng)
+		frame := Encode(e)
+		if len(frame) != Size(e) {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return equalEnvelopes(e, got)
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics feeds random bytes to the decoder; it must
+// return an error or an envelope, never panic or over-allocate.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(frame []byte) bool {
+		_, _ = Decode(frame)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := sampleEnvelopes()[1]
+	c := e.Clone()
+	c.Payload[0] = 'X'
+	c.Dets[0].Holders.Add(50)
+	if e.Payload[0] == 'X' {
+		t.Fatal("Clone shares payload")
+	}
+	if e.Dets[0].Holders.Contains(50) {
+		t.Fatal("Clone shares holder sets")
+	}
+	if !reflect.DeepEqual(e.Kind, c.Kind) || e.SSN != c.SSN {
+		t.Fatal("Clone lost fields")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(1); k < kindMax; k++ {
+		if k.String() == "kind?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(0).String() != "kind?" || Kind(200).String() != "kind?" {
+		t.Error("unknown kinds must render as kind?")
+	}
+	if KindApp.Control() {
+		t.Error("app messages are not control traffic")
+	}
+	if !KindDepRequest.Control() {
+		t.Error("dep requests are control traffic")
+	}
+}
+
+func BenchmarkEncodeApp(b *testing.B) {
+	e := sampleEnvelopes()[1]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(e)
+	}
+}
+
+func BenchmarkDecodeApp(b *testing.B) {
+	frame := Encode(sampleEnvelopes()[1])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

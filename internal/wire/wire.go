@@ -1,0 +1,159 @@
+// Package wire defines the protocol message vocabulary (the envelope) and a
+// hand-written binary codec for it.
+//
+// Both runtimes transmit encoded bytes rather than shared pointers: every
+// delivery round-trips through the codec, which guarantees processes share
+// no mutable state and gives the network model exact message sizes — the
+// quantity the paper's "communication overhead" metric counts.
+package wire
+
+import (
+	"rollrec/internal/det"
+	"rollrec/internal/ids"
+)
+
+// Kind discriminates envelope types.
+type Kind uint8
+
+// Envelope kinds. The first group is the failure-free protocol (§2); the
+// second group is the recovery algorithm (§3.4).
+const (
+	// KindApp carries an application payload plus the causal piggyback of
+	// not-yet-stable determinants.
+	KindApp Kind = iota + 1
+	// KindCheckpointNotice announces that the sender checkpointed: peers can
+	// garbage-collect determinants and sender-log entries the checkpoint
+	// covers.
+	KindCheckpointNotice
+	// KindDetsToStorage streams determinants to the stable-storage
+	// pseudo-process (f = n instance only).
+	KindDetsToStorage
+	// KindStorageAck acknowledges determinants durably held by storage.
+	KindStorageAck
+	// KindHeartbeat feeds the failure detector.
+	KindHeartbeat
+
+	// KindRecoveryAnnounce is broadcast by a process entering recovery: it
+	// carries the new incarnation and the recovery ordinal (§3.2 "ord").
+	KindRecoveryAnnounce
+	// KindIncRequest is the leader's step-4 query to a recovering process.
+	KindIncRequest
+	// KindIncReply answers with the recovering process's incarnation.
+	KindIncReply
+	// KindDepRequest is the leader's step-5 query to a live process; it
+	// carries the leader's incvector so the live process starts rejecting
+	// stale messages before replying.
+	KindDepRequest
+	// KindDepReply returns a live process's entire determinant log.
+	KindDepReply
+	// KindRecoveryData is the leader's step-6 delivery of the aggregated
+	// depinfo to each recovering process.
+	KindRecoveryData
+	// KindRecoveryComplete tells live processes the gather finished; the
+	// blocking baseline unblocks on it.
+	KindRecoveryComplete
+	// KindReplayRequest asks a sender to retransmit logged messages by id.
+	KindReplayRequest
+	// KindRecovered is broadcast by a process that finished replaying.
+	KindRecovered
+
+	// Coordinated-checkpointing comparator (Chandy–Lamport snapshots with
+	// global rollback; see internal/coord).
+	//
+	// KindMarker is the snapshot marker flooding every channel.
+	KindMarker
+	// KindSnapState carries a participant's local snapshot acknowledgment
+	// to the initiator.
+	KindSnapState
+	// KindSnapCommit announces that a global snapshot is complete and is
+	// now the recovery line.
+	KindSnapCommit
+	// KindRollback orders every process back to the committed recovery
+	// line after a failure.
+	KindRollback
+
+	kindMax
+)
+
+// String names the kind for traces.
+func (k Kind) String() string {
+	names := [...]string{
+		KindApp:              "app",
+		KindCheckpointNotice: "cp-notice",
+		KindDetsToStorage:    "dets-to-storage",
+		KindStorageAck:       "storage-ack",
+		KindHeartbeat:        "heartbeat",
+		KindRecoveryAnnounce: "rec-announce",
+		KindIncRequest:       "inc-request",
+		KindIncReply:         "inc-reply",
+		KindDepRequest:       "dep-request",
+		KindDepReply:         "dep-reply",
+		KindRecoveryData:     "rec-data",
+		KindRecoveryComplete: "rec-complete",
+		KindReplayRequest:    "replay-request",
+		KindRecovered:        "recovered",
+		KindMarker:           "cl-marker",
+		KindSnapState:        "cl-snap-state",
+		KindSnapCommit:       "cl-snap-commit",
+		KindRollback:         "cl-rollback",
+	}
+	if int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return "kind?"
+}
+
+// Control reports whether the kind is protocol control traffic (as opposed
+// to an application message). The paper's communication-overhead metric
+// counts exactly these during recovery.
+func (k Kind) Control() bool { return k != KindApp }
+
+// Envelope is the single on-wire message type; unused fields stay at their
+// zero values and cost two bytes of presence bitmap.
+type Envelope struct {
+	Kind    Kind
+	From    ids.ProcID
+	To      ids.ProcID
+	FromInc ids.Incarnation
+
+	// Application path.
+	SSN  ids.SSN // sender-global send sequence number (KindApp)
+	Dseq uint64  // per-destination sequence for duplicate suppression;
+	// on KindReplayRequest it is the requester's delivered watermark instead
+	Payload []byte      // application bytes (KindApp)
+	Dets    []det.Entry // piggyback, dep replies, recovery data, storage stream
+
+	// Checkpoint notices.
+	CPRsn         ids.RSN   // receiver-order watermark covered by the checkpoint
+	SSNWatermarks []ids.SSN // per-sender delivered-SSN watermarks
+
+	// Recovery protocol.
+	Ord    ids.Ordinal       // recovery ordinal of the round
+	Round  uint32            // gather attempt counter within one ordinal
+	IncVec []ids.Incarnation // leader's incarnation vector
+	MsgIDs []ids.MsgID       // replay requests, storage acks
+}
+
+// Clone returns a deep copy of the envelope.
+func (e *Envelope) Clone() *Envelope {
+	c := *e
+	if e.Payload != nil {
+		c.Payload = append([]byte(nil), e.Payload...)
+	}
+	if e.Dets != nil {
+		c.Dets = make([]det.Entry, len(e.Dets))
+		for i := range e.Dets {
+			c.Dets[i] = e.Dets[i].Clone()
+		}
+	}
+	if e.SSNWatermarks != nil {
+		c.SSNWatermarks = append([]ids.SSN(nil), e.SSNWatermarks...)
+	}
+	if e.IncVec != nil {
+		c.IncVec = append([]ids.Incarnation(nil), e.IncVec...)
+	}
+	if e.MsgIDs != nil {
+		c.MsgIDs = append([]ids.MsgID(nil), e.MsgIDs...)
+	}
+	return &c
+}
