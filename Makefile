@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The livenet runtime records trace events from many goroutines; the race
+# target exercises every package under the race detector.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./internal/trace/
+
+check: vet test race

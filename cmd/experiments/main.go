@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"rollrec/internal/experiments"
+	"rollrec/internal/trace"
+	"rollrec/internal/wire"
 )
 
 var registry = []struct {
@@ -39,7 +41,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file covering the runs (best with a single -only id)")
+	traceSum := flag.Bool("trace-summary", false, "print the per-phase latency summary after the tables")
+	traceBuf := flag.Int("trace-buf", 1<<20, "trace ring capacity in events; older events are evicted when full")
 	flag.Parse()
+
+	var rec *trace.Recorder
+	if *traceOut != "" || *traceSum {
+		rec = trace.NewRecorder(*traceBuf)
+		experiments.DefaultTracer = rec
+	}
 
 	if *list {
 		for _, e := range registry {
@@ -70,4 +81,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *only)
 		os.Exit(2)
 	}
+
+	if rec != nil {
+		if *traceSum {
+			fmt.Printf("recovery-phase latency summary (%d events, %d dropped):\n",
+				rec.Len(), rec.Dropped())
+			if err := trace.WriteSummary(os.Stdout, rec.Events()); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeChromeFile(*traceOut, rec); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("trace: %d events written to %s (open in ui.perfetto.dev)\n",
+				rec.Len(), *traceOut)
+			if d := rec.Dropped(); d > 0 {
+				fmt.Printf("trace: ring full, %d oldest events evicted; rerun with a larger -trace-buf\n", d)
+			}
+		}
+	}
+}
+
+func writeChromeFile(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	opts := trace.ChromeOptions{
+		KindName: func(k uint8) string { return wire.Kind(k).String() },
+	}
+	if err := trace.WriteChrome(f, rec.Events(), opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

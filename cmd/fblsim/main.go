@@ -23,23 +23,27 @@ import (
 	"rollrec/internal/metrics"
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
+	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
 )
 
 func main() {
 	var (
-		n       = flag.Int("n", 8, "application processes")
-		f       = flag.Int("f", 2, "failure budget (>= n selects the f=n instance)")
-		styleF  = flag.String("style", "nonblocking", "recovery style: nonblocking|blocking|manetho")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		hwF     = flag.String("hw", "1995", "hardware profile: 1995|modern")
-		appF    = flag.String("app", "gossip", "workload: gossip|ring|clientserver")
-		crash   = flag.String("crash", "", "crash schedule, e.g. 10s:3,14s:5")
-		horizon = flag.Duration("horizon", 30*time.Second, "virtual run time")
-		cpEvery = flag.Duration("checkpoint", 4*time.Second, "checkpoint interval")
-		pad     = flag.Int("statepad", 1<<20, "checkpoint padding bytes (process image size)")
-		trace   = flag.Bool("trace", false, "emit the event trace to stderr")
+		n        = flag.Int("n", 8, "application processes")
+		f        = flag.Int("f", 2, "failure budget (>= n selects the f=n instance)")
+		styleF   = flag.String("style", "nonblocking", "recovery style: nonblocking|blocking|manetho")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		hwF      = flag.String("hw", "1995", "hardware profile: 1995|modern")
+		appF     = flag.String("app", "gossip", "workload: gossip|ring|clientserver")
+		crash    = flag.String("crash", "", "crash schedule, e.g. 10s:3,14s:5")
+		horizon  = flag.Duration("horizon", 30*time.Second, "virtual run time")
+		cpEvery  = flag.Duration("checkpoint", 4*time.Second, "checkpoint interval")
+		pad      = flag.Int("statepad", 1<<20, "checkpoint padding bytes (process image size)")
+		eventlog = flag.Bool("eventlog", false, "emit the plain-text event log to stderr")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+		traceSum = flag.Bool("trace-summary", false, "print the per-phase latency summary table")
+		traceBuf = flag.Int("trace-buf", 1<<20, "trace ring capacity in events; older events are evicted when full")
 	)
 	flag.Parse()
 
@@ -70,8 +74,13 @@ func main() {
 		CheckpointEvery: *cpEvery,
 		StatePad:        *pad,
 	}
-	if *trace {
+	if *eventlog {
 		cfg.Trace = os.Stderr
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" || *traceSum {
+		rec = trace.NewRecorder(*traceBuf)
+		cfg.Tracer = rec
 	}
 	c := cluster.New(cfg)
 	c.ApplyPlan(plan)
@@ -84,10 +93,7 @@ func main() {
 	for i := 0; i < *n; i++ {
 		p := ids.ProcID(i)
 		m := c.Metrics(p)
-		var sent int64
-		for k := 0; k < 24; k++ {
-			sent += m.MsgsSent[k]
-		}
+		sent, _ := m.TotalSent(false, uint8(wire.KindApp))
 		rec, gather, replay := "-", "-", "-"
 		if tr := m.CurrentRecovery(); tr != nil && tr.ReplayedAt != 0 {
 			rec = metrics.FmtDuration(time.Duration(tr.ReplayedAt - tr.CrashedAt))
@@ -95,8 +101,34 @@ func main() {
 			replay = metrics.FmtDuration(time.Duration(tr.ReplayedAt - tr.GatheredAt))
 		}
 		fmt.Printf("%-5s %-10d %-9d %-9s %-9s %-10s %-10s %-9s\n",
-			p, m.Delivered, sent, metrics.FmtDuration(m.BlockedTotal),
-			metrics.FmtDuration(m.StorageTime), rec, gather, replay)
+			p, m.Delivered, sent, metrics.FmtDuration(m.BlockedTotal()),
+			metrics.FmtDuration(m.StorageTime()), rec, gather, replay)
+	}
+
+	// Blocked-time distribution: which live processes recovery intruded on,
+	// and how the stalls were sized — not just their sum.
+	blockedAnywhere := false
+	for i := 0; i < *n; i++ {
+		if c.Metrics(ids.ProcID(i)).BlockedHist.Count() > 0 {
+			blockedAnywhere = true
+			break
+		}
+	}
+	if blockedAnywhere {
+		fmt.Printf("\nblocked-time distribution (per live process):\n")
+		fmt.Printf("%-5s %-7s %-9s %-9s %-9s %-9s %-9s\n",
+			"proc", "spans", "total", "p50", "p95", "p99", "max")
+		for i := 0; i < *n; i++ {
+			h := &c.Metrics(ids.ProcID(i)).BlockedHist
+			if h.Count() == 0 {
+				continue
+			}
+			fmt.Printf("%-5s %-7d %-9s %-9s %-9s %-9s %-9s\n",
+				ids.ProcID(i), h.Count(),
+				metrics.FmtDuration(h.Total()), metrics.FmtDuration(h.Quantile(0.50)),
+				metrics.FmtDuration(h.Quantile(0.95)), metrics.FmtDuration(h.Quantile(0.99)),
+				metrics.FmtDuration(h.Max()))
+		}
 	}
 
 	var piggyDets, appMsgs int64
@@ -107,6 +139,26 @@ func main() {
 	}
 	if appMsgs > 0 {
 		fmt.Printf("\npiggyback: %.2f determinants per app message\n", float64(piggyDets)/float64(appMsgs))
+	}
+
+	if rec != nil {
+		if *traceSum {
+			fmt.Printf("\nrecovery-phase latency summary (%d events, %d dropped):\n",
+				rec.Len(), rec.Dropped())
+			if err := trace.WriteSummary(os.Stdout, rec.Events()); err != nil {
+				fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeChromeFile(*traceOut, rec); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\ntrace: %d events written to %s (open in ui.perfetto.dev)\n",
+				rec.Len(), *traceOut)
+			if d := rec.Dropped(); d > 0 {
+				fmt.Printf("trace: ring full, %d oldest events evicted; rerun with a larger -trace-buf\n", d)
+			}
+		}
 	}
 
 	if errs := c.Check(); len(errs) > 0 {
@@ -174,6 +226,21 @@ func parseCrashes(s string, n int) (failure.Plan, error) {
 		plan = append(plan, failure.Crash{At: d, Proc: ids.ProcID(p)})
 	}
 	return plan, nil
+}
+
+func writeChromeFile(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	opts := trace.ChromeOptions{
+		KindName: func(k uint8) string { return wire.Kind(k).String() },
+	}
+	if err := trace.WriteChrome(f, rec.Events(), opts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

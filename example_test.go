@@ -43,7 +43,7 @@ func Example_recoverFromCrash() {
 
 	fmt.Println("violations:", len(c.Check()))
 	fmt.Println("p1 recovered:", c.Metrics(1).CurrentRecovery().Total() > 0)
-	fmt.Println("live processes blocked:", c.Metrics(0).BlockedTotal+c.Metrics(2).BlockedTotal+c.Metrics(3).BlockedTotal)
+	fmt.Println("live processes blocked:", c.Metrics(0).BlockedTotal()+c.Metrics(2).BlockedTotal()+c.Metrics(3).BlockedTotal())
 	// Output:
 	// violations: 0
 	// p1 recovered: true

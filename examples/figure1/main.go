@@ -56,7 +56,7 @@ func main() {
 	fmt.Printf("  replay:             %v\n", time.Duration(tr.ReplayedAt-tr.GatheredAt).Round(time.Millisecond))
 
 	fmt.Printf("\nintrusion on the live processes q and r: %v and %v (the paper's point)\n",
-		c.Metrics(q).BlockedTotal, c.Metrics(r).BlockedTotal)
+		c.Metrics(q).BlockedTotal(), c.Metrics(r).BlockedTotal())
 
 	ok := true
 	g, f := golden.Digests(), c.Digests()

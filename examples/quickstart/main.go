@@ -40,7 +40,7 @@ func main() {
 				tr.Total().Round(time.Millisecond), tr.Rounds)
 		}
 		fmt.Printf("  %v: delivered %4d messages, blocked %v — %s\n",
-			p, m.Delivered, m.BlockedTotal, status)
+			p, m.Delivered, m.BlockedTotal(), status)
 	}
 
 	fmt.Println()

@@ -41,7 +41,7 @@ func main() {
 			if p == 3 || p == 5 {
 				continue
 			}
-			blocked += c.Metrics(p).BlockedTotal
+			blocked += c.Metrics(p).BlockedTotal()
 			lives++
 		}
 		fmt.Printf("%-12s  %-14v  %-14v  %-18v\n",

@@ -16,6 +16,7 @@ import (
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
 	"rollrec/internal/sim"
+	"rollrec/internal/trace"
 	"rollrec/internal/workload"
 )
 
@@ -39,6 +40,9 @@ type Config struct {
 	StatePad int
 	// Trace, if non-nil, receives event trace lines.
 	Trace io.Writer
+	// Tracer, if non-nil, records structured events and recovery-phase
+	// spans (see internal/trace). Nil disables structured tracing.
+	Tracer trace.Tracer
 }
 
 // maxProcs bounds the cluster size (holder sets are single-word in the hot
@@ -92,7 +96,7 @@ func New(cfg Config) *Cluster {
 		c.seen[i] = make(map[ids.MsgID]ids.RSN)
 	}
 
-	c.K = sim.New(sim.Config{Seed: cfg.Seed, HW: cfg.HW, Trace: cfg.Trace})
+	c.K = sim.New(sim.Config{Seed: cfg.Seed, HW: cfg.HW, Trace: cfg.Trace, Tracer: cfg.Tracer})
 	par := fbl.Params{
 		N:               cfg.N,
 		F:               cfg.F,
@@ -297,7 +301,7 @@ func (c *Cluster) Check() []error {
 	// Non-intrusion: the paper's algorithm never blocks live processes.
 	if c.cfg.Style == recovery.NonBlocking {
 		for i := 0; i < c.cfg.N; i++ {
-			if b := c.Metrics(ids.ProcID(i)).BlockedTotal; b != 0 {
+			if b := c.Metrics(ids.ProcID(i)).BlockedTotal(); b != 0 {
 				errs = append(errs, fmt.Errorf(
 					"intrusion: nonblocking style blocked %v for %v", ids.ProcID(i), b))
 			}

@@ -121,7 +121,7 @@ func TestBlockingStyleBlocksLives(t *testing.T) {
 		if ids.ProcID(i) == 1 {
 			continue
 		}
-		blocked += c.Metrics(ids.ProcID(i)).BlockedTotal
+		blocked += c.Metrics(ids.ProcID(i)).BlockedTotal()
 	}
 	if blocked == 0 {
 		t.Fatal("blocking style produced zero live blocked time")

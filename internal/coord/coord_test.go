@@ -156,7 +156,7 @@ func TestGlobalRollbackOnCrash(t *testing.T) {
 		if ids.ProcID(i) == 2 {
 			continue
 		}
-		if h.k.Metrics(ids.ProcID(i)).BlockedTotal > 0 {
+		if h.k.Metrics(ids.ProcID(i)).BlockedTotal() > 0 {
 			blockedSomewhere = true
 		}
 	}

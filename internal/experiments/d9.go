@@ -91,7 +91,7 @@ func runCoord(seed int64, horizon time.Duration) coordResult {
 		m := k.Metrics(ids.ProcID(i))
 		writes += m.StorageWrites
 		if ids.ProcID(i) != 3 {
-			blocked += m.BlockedTotal
+			blocked += m.BlockedTotal()
 			lives++
 		}
 	}

@@ -15,9 +15,15 @@ import (
 	"rollrec/internal/metrics"
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
+	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
 )
+
+// DefaultTracer, if non-nil, is attached to every run whose Spec carries no
+// tracer of its own. The experiments CLI sets it to capture recovery-phase
+// spans across a whole experiment.
+var DefaultTracer trace.Tracer
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -98,6 +104,9 @@ type Spec struct {
 	Pad     int
 	Crashes failure.Plan
 	Horizon time.Duration
+	// Tracer, if non-nil, records structured events for this run;
+	// DefaultTracer is used when nil.
+	Tracer trace.Tracer
 }
 
 // paperSpec is the baseline configuration modeled on the paper's testbed:
@@ -131,6 +140,10 @@ type Result struct {
 
 // Run executes a spec to its horizon and returns the collected result.
 func Run(spec Spec) *Result {
+	tr := spec.Tracer
+	if tr == nil {
+		tr = DefaultTracer
+	}
 	c := cluster.New(cluster.Config{
 		N:               spec.N,
 		F:               spec.F,
@@ -140,6 +153,7 @@ func Run(spec Spec) *Result {
 		App:             spec.App,
 		CheckpointEvery: spec.CPEvery,
 		StatePad:        spec.Pad,
+		Tracer:          tr,
 	})
 	c.ApplyPlan(spec.Crashes)
 	c.Run(spec.Horizon)

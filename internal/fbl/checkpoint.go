@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rollrec/internal/ids"
+	"rollrec/internal/trace"
 	"rollrec/internal/vclock"
 	"rollrec/internal/wire"
 )
@@ -151,6 +152,8 @@ func (p *Process) checkpointTick() {
 // doCheckpoint captures and durably writes the state, then announces the
 // new garbage-collection watermarks.
 func (p *Process) doCheckpoint() {
+	cpSpan := p.env.Tracer().Begin(p.env.Now(), int32(p.env.ID()),
+		trace.EvCheckpoint, trace.Tag{Inc: uint32(p.inc)})
 	data := p.encodeCheckpoint()
 	if p.par.SnapshotCPUPerByte > 0 {
 		p.env.Busy(time.Duration(len(data)) * p.par.SnapshotCPUPerByte)
@@ -170,6 +173,7 @@ func (p *Process) doCheckpoint() {
 	}
 	p.dets.Compact(minCur)
 	p.env.WriteStable(keyCheckpoint, data, func() {
+		p.env.Tracer().End(cpSpan, p.env.Now())
 		p.cpBusy = false
 		p.cpRSN = rsnAt
 		// Our own determinants for deliveries the checkpoint covers will
@@ -213,6 +217,8 @@ func (p *Process) onCheckpointNotice(e *wire.Envelope) {
 // checkpoint (paying the stable-storage latency that dominates the paper's
 // five-second recoveries), then start the recovery protocol.
 func (p *Process) restore() {
+	restoreSpan := p.env.Tracer().Begin(p.env.Now(), int32(p.env.ID()),
+		trace.EvRestore, trace.Tag{})
 	p.env.ReadStable(keyIncarnation, func(incData []byte, okInc bool) {
 		p.env.ReadStable(keyCheckpoint, func(cpData []byte, okCP bool) {
 			prevInc := ids.Incarnation(1)
@@ -243,6 +249,7 @@ func (p *Process) restore() {
 					tr.RestoredAt = p.env.Now()
 					tr.Incarnation = uint32(p.inc)
 				}
+				p.env.Tracer().End(restoreSpan, p.env.Now())
 				p.mode = ModeRecovering
 				p.env.Logf("fbl: restored at rsn %d, incarnation %d, ord %v", p.cpRSN, p.inc, ord)
 				p.mgr.StartRecovery(ord, p.inc)

@@ -20,6 +20,7 @@ import (
 	"rollrec/internal/ids"
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
+	"rollrec/internal/trace"
 	"rollrec/internal/vclock"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
@@ -179,8 +180,12 @@ type Process struct {
 	replayT   node.Timer
 
 	// Live-side blocking and recovery-time buffering.
-	blocked  bool
-	deferred []*wire.Envelope
+	blocked     bool
+	deferred    []*wire.Envelope
+	blockedSpan trace.SpanRef
+
+	// Open replay-phase span.
+	replaySpan trace.SpanRef
 
 	// Checkpoint bookkeeping.
 	cpBusy bool

@@ -12,6 +12,7 @@ import (
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
 	"rollrec/internal/storage"
+	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
 )
@@ -65,6 +66,7 @@ func (f *fakeEnv) WriteStable(k string, d []byte, cb func()) {
 func (f *fakeEnv) Rand() *rand.Rand       { return f.rng }
 func (f *fakeEnv) Logf(string, ...any)    {}
 func (f *fakeEnv) Metrics() *metrics.Proc { return f.met }
+func (f *fakeEnv) Tracer() trace.Tracer   { return trace.Nop{} }
 
 func (f *fakeEnv) takeKind(kind wire.Kind) []*wire.Envelope {
 	var out, rest []*wire.Envelope

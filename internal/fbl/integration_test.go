@@ -111,7 +111,7 @@ func TestBlockingStyleBuffersAndDrains(t *testing.T) {
 	blocked := false
 	for i := 1; i < 4; i++ {
 		m := k.Metrics(ids.ProcID(i))
-		if m.BlockedTotal > 0 && m.BlockedSpans > 0 {
+		if m.BlockedTotal() > 0 && m.BlockedSpans() > 0 {
 			blocked = true
 		}
 		if m.Blocked() {

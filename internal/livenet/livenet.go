@@ -17,6 +17,7 @@ import (
 	"rollrec/internal/metrics"
 	"rollrec/internal/node"
 	"rollrec/internal/storage"
+	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 )
 
@@ -33,12 +34,16 @@ type Config struct {
 	Seed int64
 	// Trace, if non-nil, receives event lines (synchronized).
 	Trace io.Writer
+	// Tracer, if non-nil, records structured events and spans; it must be
+	// safe for concurrent use (trace.Recorder is). Nil disables tracing.
+	Tracer trace.Tracer
 }
 
 // Net is a running cluster of goroutine-backed nodes. Create with New, add
 // nodes, Boot, and Close when done.
 type Net struct {
 	cfg   Config
+	tr    trace.Tracer
 	start time.Time
 
 	mu     sync.Mutex
@@ -57,6 +62,7 @@ func New(cfg Config) *Net {
 	}
 	return &Net{
 		cfg:   cfg,
+		tr:    trace.OrNop(cfg.Tracer),
 		start: time.Now(),
 		nodes: make(map[ids.ProcID]*lnode),
 		links: make(map[[2]ids.ProcID]time.Time),
@@ -149,6 +155,8 @@ func (n *Net) Crash(id ids.ProcID) {
 	ln.proc = nil
 	ln.met.BlockEnd(n.vnow())
 	ln.met.Recoveries = append(ln.met.Recoveries, metrics.RecoveryTrace{CrashedAt: n.vnow()})
+	n.tr.Instant(n.vnow(), int32(id), trace.EvCrash, trace.Tag{})
+	ln.downSpan = n.tr.Begin(n.vnow(), int32(id), trace.EvDown, trace.Tag{})
 	ln.mu.Unlock()
 	n.tracef("%v CRASH", id)
 
@@ -168,6 +176,9 @@ func (n *Net) Crash(id ids.ProcID) {
 		if tr := ln.met.CurrentRecovery(); tr != nil && tr.RestartedAt == 0 {
 			tr.RestartedAt = n.vnow()
 		}
+		n.tr.End(ln.downSpan, n.vnow())
+		ln.downSpan = 0
+		n.tr.Instant(n.vnow(), int32(id), trace.EvRestart, trace.Tag{})
 		n.tracef("%v RESTART", id)
 		ln.proc.Boot(ln, true)
 	})
@@ -221,10 +232,11 @@ type lnode struct {
 	met     *metrics.Proc
 	rng     *rand.Rand
 
-	mu    sync.Mutex // serializes all process event handling
-	up    bool
-	epoch uint64
-	proc  node.Process
+	mu       sync.Mutex // serializes all process event handling
+	up       bool
+	epoch    uint64
+	proc     node.Process
+	downSpan trace.SpanRef // open crash→restart span
 }
 
 var _ node.Env = (*lnode)(nil)
@@ -234,6 +246,7 @@ func (ln *lnode) N() int                 { return ln.net.nApp }
 func (ln *lnode) Now() int64             { return ln.net.vnow() }
 func (ln *lnode) Rand() *rand.Rand       { return ln.rng }
 func (ln *lnode) Metrics() *metrics.Proc { return ln.met }
+func (ln *lnode) Tracer() trace.Tracer   { return ln.net.tr }
 
 func (ln *lnode) Logf(format string, args ...any) {
 	if ln.net.cfg.Trace != nil {
@@ -256,6 +269,9 @@ func (ln *lnode) Send(to ids.ProcID, e *wire.Envelope) {
 	frame := wire.Encode(e)
 	ln.met.Sent(uint8(e.Kind), len(frame))
 	n := ln.net
+	sentAt := n.vnow()
+	n.tr.Instant(sentAt, int32(ln.id), trace.EvSend,
+		trace.Tag{Kind: uint8(e.Kind), Arg: int64(len(frame))})
 
 	n.mu.Lock()
 	if n.closed {
@@ -291,6 +307,9 @@ func (ln *lnode) Send(to ids.ProcID, e *wire.Envelope) {
 			panic(fmt.Sprintf("livenet: undecodable frame: %v", err))
 		}
 		dst.met.Received(uint8(decoded.Kind), len(frame))
+		dst.met.DeliveryHist.Record(time.Duration(n.vnow() - sentAt))
+		n.tr.Instant(n.vnow(), int32(to), trace.EvRecv,
+			trace.Tag{Kind: uint8(decoded.Kind), Arg: int64(len(frame))})
 		dst.proc.Deliver(decoded)
 	})
 }
@@ -347,9 +366,13 @@ func (ln *lnode) stableOp(read bool, key string, data []byte, cb func([]byte, bo
 		got, ok = ln.stable.Get(key)
 		dur = n.cfg.HW.Disk.ReadTime(len(got))
 		ln.met.StorageOp(false, len(got), dur)
+		n.tr.Span(n.vnow(), int64(dur), int32(ln.id), trace.EvStorageRead,
+			trace.Tag{Arg: int64(len(got))})
 	} else {
 		dur = n.cfg.HW.Disk.WriteTime(len(data))
 		ln.met.StorageOp(true, len(data), dur)
+		n.tr.Span(n.vnow(), int64(dur), int32(ln.id), trace.EvStorageWrite,
+			trace.Tag{Arg: int64(len(data))})
 	}
 	time.AfterFunc(n.scale(dur), func() {
 		if !n.enter() {

@@ -11,6 +11,7 @@ import (
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
 	"rollrec/internal/storage"
+	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
 )
@@ -134,7 +135,10 @@ func TestStableStorageAcrossCrash(t *testing.T) {
 // and waits for its recovery to complete.
 func TestFullProtocolOnLivenet(t *testing.T) {
 	hw := tinyHW()
-	n := New(Config{HW: hw, Seed: 42})
+	// Record a structured trace: every goroutine hits the shared Recorder,
+	// which the race target uses to prove it is concurrency-safe.
+	rec := trace.NewRecorder(1 << 14)
+	n := New(Config{HW: hw, Seed: 42, Tracer: rec})
 	par := fbl.Params{
 		N:               3,
 		F:               2,
@@ -173,5 +177,18 @@ func TestFullProtocolOnLivenet(t *testing.T) {
 	tr := n.Metrics(1).CurrentRecovery()
 	if tr == nil || tr.ReplayedAt == 0 {
 		t.Fatal("no completed recovery trace")
+	}
+	// The structured trace must show the crash and a completed replay span.
+	var sawCrash, sawReplay bool
+	for _, e := range rec.Events() {
+		if e.Proc == 1 && e.Name == trace.EvCrash {
+			sawCrash = true
+		}
+		if e.Proc == 1 && e.Name == trace.EvReplay && e.Span && !e.Open {
+			sawReplay = true
+		}
+	}
+	if !sawCrash || !sawReplay {
+		t.Fatalf("trace missing crash/replay events (crash=%v replay=%v)", sawCrash, sawReplay)
 	}
 }

@@ -12,11 +12,15 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"rollrec/internal/trace"
+	"rollrec/internal/wire"
 )
 
-// maxKinds bounds the per-kind counter arrays; it comfortably exceeds the
-// number of wire kinds and is asserted by tests against the wire package.
-const maxKinds = 24
+// maxKinds sizes the per-kind counter arrays. It is derived from the wire
+// package's kind count so adding a wire kind can never silently overflow
+// (or be silently dropped by) the counters.
+const maxKinds = wire.KindCount
 
 // Proc accumulates statistics for one process. The zero value is ready to
 // use. Proc is not safe for concurrent use; the runtimes serialize event
@@ -43,12 +47,15 @@ type Proc struct {
 	StorageWrites     int64
 	StorageReadBytes  int64
 	StorageWriteBytes int64
-	StorageTime       time.Duration // total time spent in storage operations
+
+	// Latency distributions (log-bucketed; p50/p95/p99/max). These replace
+	// the former sum-only accounting: totals are derived from them.
+	StorageHist  trace.Histogram // per-operation stable-storage access time
+	BlockedHist  trace.Histogram // per-span live-process blocked time
+	DeliveryHist trace.Histogram // per-frame network delivery latency
 
 	// Intrusion accounting.
 	blockedSince int64 // virtual ns; -1 when not blocked
-	BlockedTotal time.Duration
-	BlockedSpans int64
 
 	// Recovery traces, one per incarnation change.
 	Recoveries []RecoveryTrace
@@ -103,20 +110,26 @@ func (p *Proc) Received(kind uint8, bytes int) {
 func (p *Proc) BlockStart(now int64) {
 	if p.blockedSince < 0 {
 		p.blockedSince = now
-		p.BlockedSpans++
 	}
 }
 
-// BlockEnd closes a blocking interval opened by BlockStart.
+// BlockEnd closes a blocking interval opened by BlockStart, recording its
+// length in the blocked-time distribution.
 func (p *Proc) BlockEnd(now int64) {
 	if p.blockedSince >= 0 {
-		p.BlockedTotal += time.Duration(now - p.blockedSince)
+		p.BlockedHist.Record(time.Duration(now - p.blockedSince))
 		p.blockedSince = -1
 	}
 }
 
 // Blocked reports whether a blocking interval is currently open.
 func (p *Proc) Blocked() bool { return p.blockedSince >= 0 }
+
+// BlockedTotal returns the accumulated blocked time across closed spans.
+func (p *Proc) BlockedTotal() time.Duration { return p.BlockedHist.Total() }
+
+// BlockedSpans returns the number of closed blocking intervals.
+func (p *Proc) BlockedSpans() int64 { return p.BlockedHist.Count() }
 
 // StorageOp records a completed stable-storage operation.
 func (p *Proc) StorageOp(write bool, bytes int, took time.Duration) {
@@ -127,8 +140,11 @@ func (p *Proc) StorageOp(write bool, bytes int, took time.Duration) {
 		p.StorageReads++
 		p.StorageReadBytes += int64(bytes)
 	}
-	p.StorageTime += took
+	p.StorageHist.Record(took)
 }
+
+// StorageTime returns the total time spent in storage operations.
+func (p *Proc) StorageTime() time.Duration { return p.StorageHist.Total() }
 
 // CurrentRecovery returns the in-progress trace (the last one appended), or
 // nil if none has been started.
@@ -171,7 +187,7 @@ func (c Cluster) MeanBlocked(only []int) (mean, max time.Duration) {
 	}
 	var sum time.Duration
 	for _, i := range idx {
-		b := c.Procs[i].BlockedTotal
+		b := c.Procs[i].BlockedTotal()
 		sum += b
 		if b > max {
 			max = b

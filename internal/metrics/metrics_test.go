@@ -19,15 +19,15 @@ func TestBlockedAccounting(t *testing.T) {
 	if p.Blocked() {
 		t.Fatal("BlockEnd must close the span")
 	}
-	if p.BlockedTotal != 500 {
-		t.Fatalf("BlockedTotal = %v, want 500ns", p.BlockedTotal)
+	if p.BlockedTotal() != 500 {
+		t.Fatalf("BlockedTotal = %v, want 500ns", p.BlockedTotal())
 	}
-	if p.BlockedSpans != 1 {
-		t.Fatalf("BlockedSpans = %d, want 1", p.BlockedSpans)
+	if p.BlockedSpans() != 1 {
+		t.Fatalf("BlockedSpans = %d, want 1", p.BlockedSpans())
 	}
 	p.BlockEnd(700) // stray end must be a no-op
-	if p.BlockedTotal != 500 {
-		t.Fatalf("stray BlockEnd changed total: %v", p.BlockedTotal)
+	if p.BlockedTotal() != 500 {
+		t.Fatalf("stray BlockEnd changed total: %v", p.BlockedTotal())
 	}
 }
 
@@ -64,8 +64,14 @@ func TestStorageOp(t *testing.T) {
 	if p.StorageWriteBytes != 1000 || p.StorageReadBytes != 500 {
 		t.Fatal("byte counters wrong")
 	}
-	if p.StorageTime != 3*time.Millisecond {
-		t.Fatalf("StorageTime = %v", p.StorageTime)
+	if p.StorageTime() != 3*time.Millisecond {
+		t.Fatalf("StorageTime = %v", p.StorageTime())
+	}
+	if p.StorageHist.Count() != 2 {
+		t.Fatalf("StorageHist.Count = %d, want 2", p.StorageHist.Count())
+	}
+	if p.StorageHist.Max() != 2*time.Millisecond {
+		t.Fatalf("StorageHist.Max = %v", p.StorageHist.Max())
 	}
 }
 
@@ -90,9 +96,9 @@ func TestRecoveryTrace(t *testing.T) {
 
 func TestMeanBlocked(t *testing.T) {
 	a, b, c := NewProc(), NewProc(), NewProc()
-	a.BlockedTotal = 100
-	b.BlockedTotal = 300
-	c.BlockedTotal = 1000
+	a.BlockedHist.Record(100)
+	b.BlockedHist.Record(300)
+	c.BlockedHist.Record(1000)
 	cl := Cluster{Procs: []*Proc{a, b, c}}
 	mean, max := cl.MeanBlocked(nil)
 	if mean != 466 || max != 1000 {

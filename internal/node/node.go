@@ -17,6 +17,7 @@ import (
 	"rollrec/internal/metrics"
 	"rollrec/internal/netmodel"
 	"rollrec/internal/storage"
+	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 )
 
@@ -54,6 +55,9 @@ type Env interface {
 	Logf(format string, args ...any)
 	// Metrics returns this process's statistics accumulator.
 	Metrics() *metrics.Proc
+	// Tracer returns the event tracer; never nil (trace.Nop when tracing
+	// is off). Protocol layers use it to mark recovery-phase spans.
+	Tracer() trace.Tracer
 }
 
 // Timer is a cancelable handle returned by Env.After.

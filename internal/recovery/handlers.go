@@ -213,6 +213,7 @@ func (m *Manager) onRecoveryData(e *wire.Envelope) {
 	if me := m.reg[m.self]; me != nil {
 		me.served = true
 	}
+	m.abortGather() // we were leading but a lower ordinal served us
 	m.state = StateReplaying
 	if m.retry != nil {
 		m.retry.Stop()
@@ -221,6 +222,8 @@ func (m *Manager) onRecoveryData(e *wire.Envelope) {
 	if tr := m.env.Metrics().CurrentRecovery(); tr != nil {
 		tr.GatheredAt = m.env.Now()
 	}
+	m.env.Tracer().End(m.waitSpan, m.env.Now())
+	m.waitSpan = 0
 	m.host.ApplyRecoveryData(e.Dets, e.IncVec)
 }
 

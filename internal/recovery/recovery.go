@@ -29,6 +29,7 @@ import (
 	"rollrec/internal/det"
 	"rollrec/internal/ids"
 	"rollrec/internal/node"
+	"rollrec/internal/trace"
 	"rollrec/internal/vclock"
 	"rollrec/internal/wire"
 )
@@ -151,6 +152,11 @@ type Manager struct {
 	blockedBy ids.Ordinal
 	isBlocked bool
 
+	// Trace spans: the whole recovery (announce → recovery data) and the
+	// current gather round (leader only).
+	waitSpan   trace.SpanRef
+	gatherSpan trace.SpanRef
+
 	retry node.Timer
 }
 
@@ -184,12 +190,16 @@ func (m *Manager) StartRecovery(ord ids.Ordinal, inc ids.Incarnation) {
 	m.myOrd = ord
 	m.state = StateWaiting
 	m.reg[m.self] = &regEntry{ord: ord, inc: inc, active: true}
+	m.waitSpan = m.env.Tracer().Begin(m.env.Now(), int32(m.self),
+		trace.EvWaiting, trace.Tag{Inc: uint32(inc)})
 	m.announce()
 	m.armRetry()
 	m.evaluate()
 }
 
 func (m *Manager) announce() {
+	m.env.Tracer().Instant(m.env.Now(), int32(m.self), trace.EvAnnounce,
+		trace.Tag{Inc: uint32(m.reg[m.self].inc)})
 	e := &wire.Envelope{
 		Kind:    wire.KindRecoveryAnnounce,
 		FromInc: m.reg[m.self].inc,
@@ -251,6 +261,7 @@ func (m *Manager) evaluate() {
 		m.lead()
 	case min != m.self && m.state == StateLeading:
 		m.env.Logf("recovery: demoting, %v has a lower ordinal", min)
+		m.abortGather()
 		m.state = StateWaiting
 	}
 }
@@ -308,10 +319,26 @@ func (m *Manager) minUnserved() ids.ProcID {
 	return best
 }
 
+// abortGather closes an open gather span with an explicit abort marker; it
+// is a no-op when no gather is in flight.
+func (m *Manager) abortGather() {
+	if m.gatherSpan == 0 {
+		return
+	}
+	tr := m.env.Tracer()
+	tr.Instant(m.env.Now(), int32(m.self), trace.EvGatherAbort,
+		trace.Tag{Inc: uint32(m.selfInc()), Arg: int64(m.round)})
+	tr.End(m.gatherSpan, m.env.Now())
+	m.gatherSpan = 0
+}
+
 // lead starts (or restarts) the gather as leader.
 func (m *Manager) lead() {
+	m.abortGather()
 	m.state = StateLeading
 	m.round++
+	m.gatherSpan = m.env.Tracer().Begin(m.env.Now(), int32(m.self),
+		trace.EvGather, trace.Tag{Inc: uint32(m.reg[m.self].inc), Arg: int64(m.round)})
 	if tr := m.env.Metrics().CurrentRecovery(); tr != nil {
 		tr.WasLeader = true
 		tr.Rounds = int(m.round)
@@ -446,6 +473,10 @@ func (m *Manager) maybeFinish() {
 	if tr := m.env.Metrics().CurrentRecovery(); tr != nil {
 		tr.GatheredAt = m.env.Now()
 	}
+	m.env.Tracer().End(m.gatherSpan, m.env.Now())
+	m.gatherSpan = 0
+	m.env.Tracer().End(m.waitSpan, m.env.Now())
+	m.waitSpan = 0
 	m.host.ApplyRecoveryData(data, vec)
 }
 

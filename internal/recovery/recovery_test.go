@@ -10,6 +10,7 @@ import (
 	"rollrec/internal/ids"
 	"rollrec/internal/metrics"
 	"rollrec/internal/node"
+	"rollrec/internal/trace"
 	"rollrec/internal/vclock"
 	"rollrec/internal/wire"
 )
@@ -57,6 +58,7 @@ func (f *fakeEnv) WriteStable(k string, d []byte, cb func())  { cb() }
 func (f *fakeEnv) Rand() *rand.Rand                           { return f.rng }
 func (f *fakeEnv) Logf(string, ...any)                        {}
 func (f *fakeEnv) Metrics() *metrics.Proc                     { return f.met }
+func (f *fakeEnv) Tracer() trace.Tracer                       { return trace.Nop{} }
 
 // take drains and returns sent envelopes of a given kind.
 func (f *fakeEnv) take(kind wire.Kind) []*wire.Envelope {

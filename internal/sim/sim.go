@@ -20,6 +20,7 @@ import (
 	"rollrec/internal/netmodel"
 	"rollrec/internal/node"
 	"rollrec/internal/storage"
+	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 )
 
@@ -31,6 +32,10 @@ type Config struct {
 	HW node.Hardware
 	// Trace, if non-nil, receives human-readable event lines.
 	Trace io.Writer
+	// Tracer, if non-nil, records structured events and spans (crash /
+	// restart, frame traffic, storage accesses) for timeline export. Nil
+	// disables tracing at no measurable cost.
+	Tracer trace.Tracer
 	// MaxEvents bounds the total number of processed events as a runaway
 	// guard; zero selects a generous default.
 	MaxEvents int64
@@ -69,6 +74,7 @@ func (h *eventHeap) Pop() interface{} {
 // construct, add nodes, then drive it from a single goroutine.
 type Kernel struct {
 	cfg    Config
+	tr     trace.Tracer
 	now    int64
 	seq    uint64
 	events eventHeap
@@ -88,6 +94,7 @@ func New(cfg Config) *Kernel {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &Kernel{
 		cfg:   cfg,
+		tr:    trace.OrNop(cfg.Tracer),
 		rng:   rng,
 		net:   netmodel.New(cfg.HW.Net, rand.New(rand.NewSource(cfg.Seed+1))),
 		nodes: make(map[ids.ProcID]*nodeState),
@@ -211,6 +218,8 @@ func (k *Kernel) Crash(id ids.ProcID) {
 		panic("sim: the stable-storage pseudo-process never fails (paper §3.3)")
 	}
 	k.tracef("%v CRASH", id)
+	k.tr.Instant(k.now, int32(id), trace.EvCrash, trace.Tag{})
+	ns.downSpan = k.tr.Begin(k.now, int32(id), trace.EvDown, trace.Tag{})
 	ns.up = false
 	ns.epoch++
 	ns.proc = nil
@@ -231,6 +240,9 @@ func (k *Kernel) restart(ns *nodeState) {
 		return
 	}
 	k.tracef("%v RESTART", ns.id)
+	k.tr.End(ns.downSpan, k.now)
+	ns.downSpan = 0
+	k.tr.Instant(k.now, int32(ns.id), trace.EvRestart, trace.Tag{})
 	ns.up = true
 	ns.proc = ns.factory()
 	if tr := ns.met.CurrentRecovery(); tr != nil && tr.RestartedAt == 0 {
@@ -259,15 +271,17 @@ type nodeState struct {
 	stable    *storage.Store
 	rng       *rand.Rand
 	met       *metrics.Proc
+	downSpan  trace.SpanRef // open crash→restart span
 }
 
 var _ node.Env = (*nodeState)(nil)
 
-func (ns *nodeState) ID() ids.ProcID         { return ns.id }
-func (ns *nodeState) N() int                 { return ns.k.nApp }
-func (ns *nodeState) Now() int64             { return ns.k.now }
-func (ns *nodeState) Rand() *rand.Rand       { return ns.rng }
+func (ns *nodeState) ID() ids.ProcID        { return ns.id }
+func (ns *nodeState) N() int                { return ns.k.nApp }
+func (ns *nodeState) Now() int64            { return ns.k.now }
+func (ns *nodeState) Rand() *rand.Rand      { return ns.rng }
 func (ns *nodeState) Metrics() *metrics.Proc { return ns.met }
+func (ns *nodeState) Tracer() trace.Tracer   { return ns.k.tr }
 
 func (ns *nodeState) Logf(format string, args ...any) {
 	if ns.k.cfg.Trace != nil {
@@ -296,16 +310,20 @@ func (ns *nodeState) Send(to ids.ProcID, e *wire.Envelope) {
 	frame := wire.Encode(e)
 	ns.Busy(ns.k.cfg.HW.SendCost(len(frame)))
 	ns.met.Sent(uint8(e.Kind), len(frame))
+	ns.k.tr.Instant(ns.k.now, int32(ns.id), trace.EvSend,
+		trace.Tag{Kind: uint8(e.Kind), Arg: int64(len(frame))})
 	at, ok := ns.k.net.Schedule(ns.k.now, ns.id, to, len(frame))
 	if !ok {
 		return
 	}
 	k := ns.k
-	k.schedule(at, func() { k.deliverFrame(to, frame) })
+	sentAt := k.now
+	k.schedule(at, func() { k.deliverFrame(to, frame, sentAt) })
 }
 
-// deliverFrame is the network-side arrival of an encoded frame.
-func (k *Kernel) deliverFrame(to ids.ProcID, frame []byte) {
+// deliverFrame is the network-side arrival of an encoded frame sent at
+// virtual time sentAt.
+func (k *Kernel) deliverFrame(to ids.ProcID, frame []byte, sentAt int64) {
 	ns := k.nodes[to]
 	if ns == nil {
 		return
@@ -314,6 +332,7 @@ func (k *Kernel) deliverFrame(to ids.ProcID, frame []byte) {
 		ns.met.Dropped++
 		return
 	}
+	ns.met.DeliveryHist.Record(time.Duration(k.now - sentAt))
 	ns.exec(ns.epoch, func() {
 		e, err := wire.Decode(frame)
 		if err != nil {
@@ -322,6 +341,8 @@ func (k *Kernel) deliverFrame(to ids.ProcID, frame []byte) {
 		ns.Busy(k.cfg.HW.SendCost(len(frame)))
 		ns.met.Received(uint8(e.Kind), len(frame))
 		k.tracef("%v <- %v %v", to, e.From, e.Kind)
+		k.tr.Instant(k.now, int32(to), trace.EvRecv,
+			trace.Tag{Kind: uint8(e.Kind), Arg: int64(len(frame))})
 		ns.proc.Deliver(e)
 	})
 }
@@ -360,6 +381,8 @@ func (ns *nodeState) ReadStable(key string, cb func(data []byte, ok bool)) {
 	data, ok := ns.stable.Get(key)
 	dur := ns.k.cfg.HW.Disk.ReadTime(len(data))
 	ns.met.StorageOp(false, len(data), dur)
+	ns.k.tr.Span(ns.k.now, int64(dur), int32(ns.id), trace.EvStorageRead,
+		trace.Tag{Arg: int64(len(data))})
 	epoch := ns.epoch
 	ns.k.schedule(ns.k.now+int64(dur), func() {
 		ns.exec(epoch, func() { cb(data, ok) })
@@ -370,6 +393,8 @@ func (ns *nodeState) WriteStable(key string, data []byte, cb func()) {
 	cp := append([]byte(nil), data...)
 	dur := ns.k.cfg.HW.Disk.WriteTime(len(cp))
 	ns.met.StorageOp(true, len(cp), dur)
+	ns.k.tr.Span(ns.k.now, int64(dur), int32(ns.id), trace.EvStorageWrite,
+		trace.Tag{Arg: int64(len(cp))})
 	epoch := ns.epoch
 	ns.k.schedule(ns.k.now+int64(dur), func() {
 		// Durability happens at completion: a crash while the write is in

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// Log-bucketed histogram geometry: 16 sub-buckets per power of two gives a
+// worst-case relative error of 1/16 ≈ 6% per recorded value, HDR-histogram
+// style, over the full int64 nanosecond range.
+const (
+	histSubBits = 4
+	histSubCnt  = 1 << histSubBits
+	// 16 exact buckets for values < 16, then 16 sub-buckets per octave up
+	// to the top int64 octave (exponent 62): 960 buckets, ~7.5 KB.
+	histBuckets = (62-histSubBits)*histSubCnt + histSubCnt + histSubCnt
+)
+
+// Histogram is a fixed-size log-bucketed latency histogram. The zero value
+// is ready to use; Record never allocates. It is not safe for concurrent
+// use (the runtimes serialize per-process metrics; aggregate with Merge).
+type Histogram struct {
+	counts [histBuckets]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histSubCnt {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= histSubBits
+	sub := int(uint64(v)>>(uint(exp)-histSubBits)) & (histSubCnt - 1)
+	return (exp-histSubBits)*histSubCnt + histSubCnt + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket idx.
+func bucketLow(idx int) int64 {
+	if idx < histSubCnt {
+		return int64(idx)
+	}
+	exp := (idx-histSubCnt)/histSubCnt + histSubBits
+	sub := int64(idx & (histSubCnt - 1))
+	return (int64(histSubCnt) + sub) << (uint(exp) - histSubBits)
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Total returns the sum of all observations.
+func (h *Histogram) Total() time.Duration { return time.Duration(h.sum) }
+
+// Max returns the largest observation (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Min returns the smallest observation (exact, not bucketed).
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.n)
+}
+
+// Quantile returns the q-quantile (0..1) to bucket resolution, clamped to
+// the exact observed extremes.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	rank := int64(q*float64(h.n-1)) + 1
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= rank {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.n == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
+// String summarizes the distribution for logs and tables.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v max=%v",
+		h.n, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}

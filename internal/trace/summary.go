@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// PhaseStat aggregates every span (or instant) sharing one name.
+type PhaseStat struct {
+	Name  string
+	Spans Histogram // span durations (empty for pure instants)
+	Count int64     // total events, spans + instants
+}
+
+// Summarize aggregates events by name. Open spans are excluded from the
+// duration histogram (their length is unknown) but counted.
+func Summarize(events []Event) []PhaseStat {
+	byName := map[string]*PhaseStat{}
+	var order []string
+	for _, e := range events {
+		st := byName[e.Name]
+		if st == nil {
+			st = &PhaseStat{Name: e.Name}
+			byName[e.Name] = st
+			order = append(order, e.Name)
+		}
+		st.Count++
+		if e.Span && !e.Open {
+			st.Spans.Record(time.Duration(e.Dur))
+		}
+	}
+	sort.Strings(order)
+	out := make([]PhaseStat, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// WriteSummary renders the per-phase table: for each event name, the
+// occurrence count and — for spans — the latency distribution. This is the
+// plain-text counterpart of the Perfetto timeline.
+func WriteSummary(w io.Writer, events []Event) error {
+	stats := Summarize(events)
+	if _, err := fmt.Fprintf(w, "%-16s %8s %10s %10s %10s %10s %10s\n",
+		"phase", "count", "total", "p50", "p95", "p99", "max"); err != nil {
+		return err
+	}
+	for _, st := range stats {
+		if st.Spans.Count() == 0 {
+			if _, err := fmt.Fprintf(w, "%-16s %8d %10s %10s %10s %10s %10s\n",
+				st.Name, st.Count, "-", "-", "-", "-", "-"); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %8d %10s %10s %10s %10s %10s\n",
+			st.Name, st.Count,
+			fmtDur(st.Spans.Total()), fmtDur(st.Spans.Quantile(0.50)),
+			fmtDur(st.Spans.Quantile(0.95)), fmtDur(st.Spans.Quantile(0.99)),
+			fmtDur(st.Spans.Max())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur renders durations compactly for the summary table.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -75,6 +75,11 @@ const (
 	kindMax
 )
 
+// KindCount is the size any array indexed by Kind must have (kinds start
+// at 1; index 0 is unused). The metrics package sizes its per-kind counter
+// arrays with it, so adding a kind above automatically widens them.
+const KindCount = int(kindMax)
+
 // String names the kind for traces.
 func (k Kind) String() string {
 	names := [...]string{

@@ -45,7 +45,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if tr == nil || tr.Total() == 0 {
 		t.Fatal("recovery trace missing")
 	}
-	if c.Metrics(0).BlockedTotal != 0 {
+	if c.Metrics(0).BlockedTotal() != 0 {
 		t.Fatal("nonblocking style blocked a live process")
 	}
 }
