@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check
+.PHONY: all build test vet lint race bench check
 
 all: build test
 
@@ -13,6 +13,15 @@ test:
 vet:
 	$(GO) vet ./...
 
+# rollvet is the repo's own determinism & protocol-invariant analyzer
+# (internal/analysis): virtual-clock discipline, seeded randomness, ordered
+# map iteration in protocol paths, no goroutines in sim-driven packages,
+# and a consistent wire.Kind table. `go test ./...` already enforces it for
+# internal/... and the root package; this target also sweeps cmd/ and
+# examples/.
+lint:
+	$(GO) run ./cmd/rollvet ./...
+
 # The livenet runtime records trace events from many goroutines; the race
 # target exercises every package under the race detector.
 race:
@@ -21,4 +30,4 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./internal/trace/
 
-check: vet test race
+check: vet lint test race

@@ -1,0 +1,67 @@
+// Command rollvet runs the repo's determinism and protocol-invariant
+// checks (see internal/analysis) over the given package patterns.
+//
+// Usage:
+//
+//	go run ./cmd/rollvet ./...          # whole module
+//	go run ./cmd/rollvet ./internal/... # protocol packages only
+//	go run ./cmd/rollvet -list          # describe the checks
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on load or
+// type-check failure. Findings print as file:line:col diagnostics. A
+// finding is silenced — with a mandatory justification — by
+//
+//	//rollvet:allow <check> -- <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rollrec/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rollvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rollvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.CheckPackages(pkgs, analysis.All)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rollvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -36,15 +36,18 @@ func main() {
 	net.Boot()
 	fmt.Println("bank running on goroutines: 4 clients stream transfers to the server (p0)")
 
+	//rollvet:allow simtime -- wall-clock demo driving the real-time livenet runtime, not sim code
 	time.Sleep(400 * time.Millisecond) // ≈20 virtual seconds of traffic
 	before := applied(net)
 	fmt.Printf("server has applied %d transfers — crashing it now\n", before)
 	net.Crash(0)
 
 	// Wait for the server to recover and make further progress.
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(30 * time.Second) //rollvet:allow simtime -- wall-clock wait on the livenet runtime
 	var after uint64
+	//rollvet:allow simtime -- wall-clock polling of the livenet runtime
 	for time.Now().Before(deadline) {
+		//rollvet:allow simtime -- wall-clock polling of the livenet runtime
 		time.Sleep(100 * time.Millisecond)
 		if a := applied(net); a > before {
 			after = a

@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Test files (*_test.go) are excluded: the invariants guard the
+// protocol implementation, and tests legitimately use wall clocks and
+// unordered iteration.
+type Package struct {
+	Dir        string // absolute directory
+	RelDir     string // slash-separated path relative to the module root ("" = root)
+	ImportPath string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Load parses and type-checks the module containing dir using only the
+// standard library: go/parser for syntax and go/types with the source
+// importer for semantics. Intra-module imports are resolved against the
+// module's own parsed packages so no compiled export data is ever needed.
+// It returns the packages matching patterns, which follow the go tool's
+// shape relative to dir: ".", "./pkg", "./pkg/..." or "./...".
+func Load(dir string, patterns []string) ([]*Package, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(absDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byPath, err := scanModule(fset, root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	imp := &moduleImporter{
+		fset:   fset,
+		mod:    byPath,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		status: make(map[string]int),
+	}
+	// Type-check deterministically: sorted import paths; dependencies are
+	// pulled in recursively by the importer.
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := imp.ensure(byPath[p]); err != nil {
+			return nil, err
+		}
+	}
+	pats, err := resolvePatterns(absDir, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg := byPath[p]
+		for _, pat := range pats {
+			if pat.match(pkg.RelDir) {
+				out = append(out, pkg)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %q under %s", patterns, absDir)
+	}
+	return out, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// scanModule parses every non-test package in the module. Directories named
+// testdata or vendor and hidden/underscore directories are skipped, matching
+// the go tool.
+func scanModule(fset *token.FileSet, root, modPath string) (map[string]*Package, error) {
+	byPath := make(map[string]*Package)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != root && (base == "testdata" || base == "vendor" ||
+			strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, err := parseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if pkg == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		pkg.RelDir = filepath.ToSlash(rel)
+		if pkg.RelDir == "." {
+			pkg.RelDir = ""
+		}
+		pkg.ImportPath = modPath
+		if pkg.RelDir != "" {
+			pkg.ImportPath = modPath + "/" + pkg.RelDir
+		}
+		byPath[pkg.ImportPath] = pkg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return byPath, nil
+}
+
+// parseDir parses the non-test Go files of one directory; it returns nil if
+// the directory holds no Go package.
+func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Name = f.Name.Name
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// moduleImporter resolves intra-module imports from the scanned packages and
+// everything else (the standard library) through the source importer, so the
+// loader never depends on compiled export data.
+type moduleImporter struct {
+	fset   *token.FileSet
+	mod    map[string]*Package
+	std    types.ImporterFrom
+	status map[string]int // 0 unvisited, 1 in progress, 2 done
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := m.mod[path]; ok {
+		if err := m.ensure(pkg); err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// ensure type-checks pkg (and, through the importer, its dependencies).
+func (m *moduleImporter) ensure(pkg *Package) error {
+	switch m.status[pkg.ImportPath] {
+	case 2:
+		return nil
+	case 1:
+		return fmt.Errorf("import cycle through %s", pkg.ImportPath)
+	}
+	m.status[pkg.ImportPath] = 1
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: m,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkg.ImportPath, m.fset, pkg.Files, info)
+	if firstErr != nil {
+		return fmt.Errorf("type-checking %s: %w", pkg.ImportPath, firstErr)
+	}
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %w", pkg.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	m.status[pkg.ImportPath] = 2
+	return nil
+}
+
+// pattern is one resolved package pattern, as a module-root-relative
+// directory prefix.
+type pattern struct {
+	rel       string // "" means the module root
+	recursive bool
+}
+
+func (p pattern) match(relDir string) bool {
+	if !p.recursive {
+		return relDir == p.rel
+	}
+	return p.rel == "" || relDir == p.rel || strings.HasPrefix(relDir, p.rel+"/")
+}
+
+// resolvePatterns turns go-tool-style patterns relative to dir into
+// module-root-relative matchers.
+func resolvePatterns(dir, root string, patterns []string) ([]pattern, error) {
+	base, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	base = filepath.ToSlash(base)
+	if base == "." {
+		base = ""
+	}
+	if strings.HasPrefix(base, "..") {
+		return nil, fmt.Errorf("%s is outside module root %s", dir, root)
+	}
+	join := func(a, b string) string {
+		switch {
+		case a == "":
+			return b
+		case b == "":
+			return a
+		default:
+			return a + "/" + b
+		}
+	}
+	var out []pattern
+	for _, raw := range patterns {
+		p := strings.TrimPrefix(filepath.ToSlash(raw), "./")
+		if p == "." {
+			p = ""
+		}
+		rec := false
+		if p == "..." {
+			p, rec = "", true
+		} else if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, rec = rest, true
+		}
+		out = append(out, pattern{rel: join(base, p), recursive: rec})
+	}
+	return out, nil
+}

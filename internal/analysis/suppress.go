@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// allowMarker introduces a suppression comment:
+//
+//	//rollvet:allow <check> -- <reason>
+//
+// A suppression on line L silences findings of <check> on line L (trailing
+// form) and on line L+1 (standalone form, placed directly above the code).
+// The reason after " -- " is mandatory and the check name must exist, so a
+// stale or sloppy suppression shows up as a finding instead of silently
+// rotting.
+const allowMarker = "rollvet:allow"
+
+// allowSet indexes suppressions by file, line, and check name.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) add(file string, line int, check string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	checks := byLine[line]
+	if checks == nil {
+		checks = make(map[string]bool)
+		byLine[line] = checks
+	}
+	checks[check] = true
+}
+
+// covers reports whether d is silenced by a suppression on its own line or
+// on the line directly above it.
+func (s allowSet) covers(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[d.Pos.Line][d.Check] || byLine[d.Pos.Line-1][d.Check]
+}
+
+// collectSuppressions scans a package's comments for allowMarker directives.
+// Well-formed ones are returned as an allowSet; malformed ones (missing
+// reason, unknown check) come back as "suppress" diagnostics so they cannot
+// silently disable anything.
+func collectSuppressions(pkg *Package, known map[string]bool) (allowSet, []Diagnostic) {
+	allows := make(allowSet)
+	var diags []Diagnostic
+	bad := func(c *ast.Comment, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(c.Pos()),
+			Check:   "suppress",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowMarker)
+				if !ok {
+					continue
+				}
+				directive, reason, hasReason := strings.Cut(text, "--")
+				check := strings.TrimSpace(directive)
+				switch {
+				case check == "":
+					bad(c, "suppression names no check: //%s <check> -- <reason>", allowMarker)
+				case strings.ContainsAny(check, " \t"):
+					bad(c, "suppression must name exactly one check, got %q", check)
+				case !known[check]:
+					bad(c, "suppression names unknown check %q", check)
+				case !hasReason || strings.TrimSpace(reason) == "":
+					bad(c, "suppression of %q is missing its mandatory reason: //%s %s -- <reason>", check, allowMarker, check)
+				default:
+					pos := pkg.Fset.Position(c.Pos())
+					allows.add(pos.Filename, pos.Line, check)
+				}
+			}
+		}
+	}
+	return allows, diags
+}

@@ -1,0 +1,23 @@
+// Package proto exercises the detrand check: the global math/rand
+// convenience functions are banned, explicitly seeded streams are the
+// sanctioned path.
+package proto
+
+import "math/rand"
+
+func bad() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand.Shuffle"
+	if rand.Float64() < 0.5 {          // want "global math/rand.Float64"
+		return rand.Int() // want "global math/rand.Int"
+	}
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // methods on a threaded *rand.Rand are fine
+}
+
+func suppressed() float64 {
+	return rand.Float64() //rollvet:allow detrand -- fixture demonstrates the allow path
+}

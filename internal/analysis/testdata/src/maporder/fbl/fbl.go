@@ -1,0 +1,68 @@
+// Package fbl — the name places it in rollvet's deterministic-package set —
+// exercises the maporder check.
+package fbl
+
+import "sort"
+
+func appends(m map[uint64]int) []uint64 {
+	var out []uint64
+	for k := range m { // want "randomized map order and appending"
+		out = append(out, k)
+	}
+	return out
+}
+
+func sends(m map[uint64]int, ch chan int) {
+	for _, v := range m { // want "randomized map order and sending on a channel"
+		ch <- v
+	}
+}
+
+func calls(m map[uint64]int, emit func(uint64)) {
+	for k := range m { // want "calling emit with the iteration element"
+		emit(k)
+	}
+}
+
+func deletesConditionally(m map[uint64]int, keep func(int) bool) {
+	for k, v := range m { // want "calling keep with the iteration element"
+		if !keep(v) {
+			delete(m, k)
+		}
+	}
+}
+
+func commutativeFold(m map[uint64]int) int {
+	total := 0
+	for _, v := range m { // pure commutative fold: silent
+		total += v
+	}
+	return total
+}
+
+func existence(m map[uint64]*int) bool {
+	for k := range m { // call-free body and len/cap are safe
+		if m[k] == nil && len(m) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedIteration(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	//rollvet:allow maporder -- keys are fully sorted below before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func overSlice(s []int) []int {
+	var out []int
+	for _, v := range s { // slices iterate deterministically: silent
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package plainpkg is outside the deterministic set, so even an
+// order-leaking map iteration stays silent: maporder is scoped to the
+// packages that must replay identically.
+package plainpkg
+
+func appends(m map[uint64]int) []uint64 {
+	var out []uint64
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package livenet is exempt from simtime: it is the wall-clock runtime and
+// owns every real timer.
+package livenet
+
+import "time"
+
+func clock() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}
+
+func timer(f func()) *time.Timer {
+	return time.AfterFunc(time.Second, f)
+}

@@ -1,0 +1,18 @@
+// Package bad holds malformed suppression directives. The driver must turn
+// each one into a "suppress" finding instead of honoring it, and the
+// underlying violations must still be reported.
+package bad
+
+import "time"
+
+//rollvet:allow simtime
+func reasonless() time.Time { return time.Now() }
+
+//rollvet:allow nosuchcheck -- the check name does not exist
+func unknownCheck() time.Time { return time.Now() }
+
+//rollvet:allow
+func nameless() {}
+
+//rollvet:allow simtime detrand -- one directive may name only one check
+func twoNames() {}

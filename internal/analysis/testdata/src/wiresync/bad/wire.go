@@ -1,0 +1,29 @@
+// Package wire exercises every wiresync failure mode: a kind missing from
+// the String() table, a kind outside [1, kindMax), and a KindCount that
+// disagrees with the sentinel.
+package wire
+
+type Kind uint8
+
+const (
+	KindA Kind = iota + 1
+	KindB // want "kind KindB has no entry in the String"
+
+	kindMax
+)
+
+// KindZ sits beyond the sentinel: the codec's bounds check rejects it and
+// per-kind counter arrays cannot index it.
+const KindZ Kind = 99 // want "out of range"
+
+const KindCount = int(kindMax) + 1 // want "KindCount = 4 disagrees with kindMax = 3"
+
+func (k Kind) String() string {
+	names := [...]string{
+		KindA: "a",
+	}
+	if int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return "kind?"
+}

@@ -1,0 +1,31 @@
+// Package wire mirrors the real wire package's Kind vocabulary shape: a
+// contiguous constant block closed by a kindMax sentinel, an exported
+// KindCount, and a complete String() name table. Nothing to report.
+package wire
+
+// Kind discriminates envelope types.
+type Kind uint8
+
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+
+	kindMax
+)
+
+// KindCount is the size any array indexed by Kind must have.
+const KindCount = int(kindMax)
+
+// String names the kind for traces.
+func (k Kind) String() string {
+	names := [...]string{
+		KindA: "a",
+		KindB: "b",
+		KindC: "c",
+	}
+	if int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return "kind?"
+}

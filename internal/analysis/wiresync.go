@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// WireSync keeps the wire protocol's Kind vocabulary consistent: every Kind
+// constant must sit in [1, kindMax), values must be distinct and contiguous
+// (the codec validates frames with kind < kindMax, and metrics size
+// per-kind arrays with KindCount), KindCount must equal kindMax, and every
+// kind needs an entry in the String() name table so traces never print
+// "kind?". The runtime counterpart lives in internal/wire's tests, which
+// round-trip every kind through the codec.
+var WireSync = &Analyzer{
+	Name: "wiresync",
+	Doc:  "wire.Kind constants, kindMax, KindCount, and the String() table stay in lockstep",
+	Run:  runWireSync,
+}
+
+func runWireSync(pass *Pass) {
+	if pass.Pkg.Name != "wire" {
+		return
+	}
+	scope := pass.TypesPkg.Scope()
+	kindObj, ok := scope.Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return // not a protocol vocabulary package
+	}
+	kindType := kindObj.Type()
+
+	var kinds []*types.Const
+	var sentinel *types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), kindType) {
+			continue
+		}
+		if name == "kindMax" {
+			sentinel = c
+		} else {
+			kinds = append(kinds, c)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].Pos() < kinds[j].Pos() })
+	if sentinel == nil {
+		pass.Reportf(kindObj.Pos(), "type Kind has no kindMax sentinel closing its constant block")
+		return
+	}
+	maxVal, _ := constant.Int64Val(sentinel.Val())
+
+	// Bounds and duplicates.
+	seen := make(map[int64]string)
+	inRange := 0
+	for _, c := range kinds {
+		v, _ := constant.Int64Val(c.Val())
+		if v < 1 || v >= maxVal {
+			pass.Reportf(c.Pos(),
+				"kind %s = %d is out of range [1, kindMax=%d); the codec rejects it and per-kind arrays cannot index it",
+				c.Name(), v, maxVal)
+			continue
+		}
+		if prev, dup := seen[v]; dup {
+			pass.Reportf(c.Pos(), "kind %s = %d collides with %s", c.Name(), v, prev)
+			continue
+		}
+		seen[v] = c.Name()
+		inRange++
+	}
+	if int64(inRange) != maxVal-1 {
+		pass.Reportf(sentinel.Pos(),
+			"kind values are not contiguous: %d distinct kinds in range but kindMax = %d implies %d",
+			inRange, maxVal, maxVal-1)
+	}
+
+	// KindCount must mirror the sentinel.
+	if kc, ok := scope.Lookup("KindCount").(*types.Const); !ok {
+		pass.Reportf(kindObj.Pos(), "package wire must export KindCount = int(kindMax)")
+	} else if kcVal, _ := constant.Int64Val(kc.Val()); kcVal != maxVal {
+		pass.Reportf(kc.Pos(), "KindCount = %d disagrees with kindMax = %d", kcVal, maxVal)
+	}
+
+	// Every kind needs a String() name so traces stay readable.
+	names, namesPos := stringNameKeys(pass, kindType)
+	if names == nil {
+		pass.Reportf(kindObj.Pos(), "Kind has no String() method with a name-table literal")
+		return
+	}
+	for _, c := range kinds {
+		if v, _ := constant.Int64Val(c.Val()); v < 1 || v >= maxVal {
+			continue // already reported above
+		}
+		if !names[c.Name()] {
+			pass.Reportf(c.Pos(), "kind %s has no entry in the String() name table at %s",
+				c.Name(), pass.Fset.Position(namesPos))
+		}
+	}
+}
+
+// stringNameKeys finds Kind's String() method and returns the set of
+// constant names used as keys in its first keyed composite literal, plus the
+// literal's position. It returns nil if no such method or literal exists.
+func stringNameKeys(pass *Pass, kindType types.Type) (map[string]bool, token.Pos) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "String" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := pass.Info.TypeOf(fd.Recv.List[0].Type)
+			if recv == nil || !types.Identical(recv, kindType) {
+				continue
+			}
+			var keys map[string]bool
+			var pos token.Pos
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if keys != nil {
+					return false
+				}
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok || len(lit.Elts) == 0 {
+					return true
+				}
+				found := make(map[string]bool)
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						return true // not a keyed table
+					}
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						found[id.Name] = true
+					}
+				}
+				keys, pos = found, lit.Pos()
+				return false
+			})
+			if keys != nil {
+				return keys, pos
+			}
+		}
+	}
+	return nil, token.NoPos
+}

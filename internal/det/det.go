@@ -200,6 +200,7 @@ func (l *Log) Lookup(msg ids.MsgID) (Entry, bool) {
 // outgoing message.
 func (l *Log) Pending() []Entry {
 	var out []Entry
+	//rollvet:allow maporder -- sortEntries below totally orders by the unique MsgID key; Stable is a pure predicate
 	for _, e := range l.entries {
 		if !l.cfg.Stable(e.Holders) {
 			out = append(out, e.Clone())
@@ -214,6 +215,7 @@ func (l *Log) Pending() []Entry {
 // these to storage asynchronously.
 func (l *Log) PendingForStorage() []Entry {
 	var out []Entry
+	//rollvet:allow maporder -- sortEntries below totally orders by the unique MsgID key; Contains is a pure predicate
 	for _, e := range l.entries {
 		if !e.Holders.Contains(l.cfg.N) {
 			out = append(out, e.Clone())
@@ -227,6 +229,7 @@ func (l *Log) PendingForStorage() []Entry {
 // answers the recovery leader's depinfo request (§3.4 step 5).
 func (l *Log) All() []Entry {
 	out := make([]Entry, 0, len(l.entries))
+	//rollvet:allow maporder -- sortEntries below totally orders by the unique MsgID key
 	for _, e := range l.entries {
 		out = append(out, e.Clone())
 	}
@@ -239,6 +242,7 @@ func (l *Log) All() []Entry {
 // schedule a recovering process must re-consume (paper §2.1).
 func (l *Log) ForReceiver(p ids.ProcID, after ids.RSN) []Determinant {
 	var out []Determinant
+	//rollvet:allow maporder -- the sort below totally orders by RSN, which is unique per receiver
 	for _, e := range l.entries {
 		if e.Det.Receiver == p && e.Det.RSN > after {
 			out = append(out, e.Det)
@@ -253,6 +257,7 @@ func (l *Log) ForReceiver(p ids.ProcID, after ids.RSN) []Determinant {
 // It returns the number of entries discarded.
 func (l *Log) GCReceiver(p ids.ProcID, upTo ids.RSN) int {
 	n := 0
+	//rollvet:allow maporder -- deletes the value-independent subset (receiver, RSN <= upTo); commutative
 	for id, e := range l.entries {
 		if e.Det.Receiver == p && e.Det.RSN <= upTo {
 			delete(l.entries, id)

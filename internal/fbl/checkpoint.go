@@ -1,7 +1,9 @@
 package fbl
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"time"
 
 	"rollrec/internal/ids"
@@ -75,16 +77,17 @@ func (p *Process) encodeCheckpoint() []byte {
 	return w.Frame()
 }
 
-func sortedKeys(m map[uint64]logRec) []uint64 {
-	out := make([]uint64, 0, len(m))
+// sortedKeys returns m's keys in ascending order. Every protocol-path
+// iteration over a map whose order can reach message contents, checkpoints,
+// or replay schedules must go through it (or carry a rollvet suppression
+// proving commutativity).
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	//rollvet:allow maporder -- keys are fully sorted below before any use
 	for k := range m {
 		out = append(out, k)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	slices.Sort(out)
 	return out
 }
 
@@ -205,6 +208,7 @@ func (p *Process) onCheckpointNotice(e *wire.Envelope) {
 	if self < len(e.SSNWatermarks) && e.From.Valid(p.n) && !e.From.IsStorage() {
 		wm := uint64(e.SSNWatermarks[self])
 		log := p.sendLog[e.From]
+		//rollvet:allow maporder -- deletes the value-independent prefix d <= wm; commutative
 		for d := range log {
 			if d <= wm {
 				delete(log, d)

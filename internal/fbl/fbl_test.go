@@ -325,7 +325,7 @@ func TestSortedKeys(t *testing.T) {
 	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
 		t.Fatalf("sortedKeys = %v", got)
 	}
-	if len(sortedKeys(nil)) != 0 {
+	if len(sortedKeys(map[uint64]logRec(nil))) != 0 {
 		t.Fatal("empty map must give empty keys")
 	}
 }

@@ -62,6 +62,7 @@ func (p *Process) ReplayProgress() (next, max ids.RSN, missing, deferred int) {
 // (rsn, msgid) pairs in rsn order; diagnostics only.
 func (p *Process) MissingReplays() []det.Determinant {
 	out := make([]det.Determinant, 0, len(p.needed))
+	//rollvet:allow maporder -- RSNs are unique per receiver, so sortByRSN below fully determines the order
 	for id, rsn := range p.needed {
 		out = append(out, det.Determinant{Msg: id, Receiver: p.env.ID(), RSN: rsn})
 	}
@@ -82,13 +83,8 @@ func sortByRSN(s []det.Determinant) {
 func (p *Process) SendLogSSNs(q ids.ProcID) [][2]uint64 {
 	log := p.sendLog[q]
 	out := make([][2]uint64, 0, len(log))
-	for d, rec := range log {
-		out = append(out, [2]uint64{d, uint64(rec.ssn)})
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
+	for _, d := range sortedKeys(log) {
+		out = append(out, [2]uint64{d, uint64(log[d].ssn)})
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package fbl
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"rollrec/internal/det"
@@ -115,12 +114,11 @@ func (p *Process) serveReplay(e *wire.Envelope) {
 	}
 	log := p.sendLog[to]
 	dseqs := make([]uint64, 0, len(log))
-	for d := range log {
+	for _, d := range sortedKeys(log) {
 		if d > start {
 			dseqs = append(dseqs, d)
 		}
 	}
-	sort.Slice(dseqs, func(i, j int) bool { return dseqs[i] < dseqs[j] })
 	if len(dseqs) == 0 {
 		return
 	}

@@ -224,6 +224,7 @@ func (p *Process) onFlushNotice(e *wire.Envelope) {
 	p.durFrontier[e.From] = int64(e.SSN)
 	wm := uint64(e.SSNWatermarks[self])
 	buf := p.sendBuf[e.From]
+	//rollvet:allow maporder -- deletes the value-independent prefix d <= wm; commutative
 	for d := range buf {
 		if d <= wm {
 			delete(buf, d)
@@ -240,6 +241,7 @@ func (p *Process) serveRetransmit(e *wire.Envelope) {
 	}
 	buf := p.sendBuf[to]
 	dseqs := make([]uint64, 0, len(buf))
+	//rollvet:allow maporder -- the sort below totally orders the unique dseq keys before transmission
 	for d := range buf {
 		if d > e.Dseq {
 			dseqs = append(dseqs, d)

@@ -270,6 +270,7 @@ func (m *Manager) evaluate() {
 // is deterministic.
 func (m *Manager) regProcs() []ids.ProcID {
 	keys := make([]int, 0, len(m.reg))
+	//rollvet:allow maporder -- keys are fully sorted below before any use
 	for p := range m.reg {
 		keys = append(keys, int(p))
 	}
@@ -285,6 +286,7 @@ func (m *Manager) regProcs() []ids.ProcID {
 func sortedPending(set map[ids.ProcID]bool) []ids.ProcID {
 	keys := make([]int, 0, len(set))
 	storage := false
+	//rollvet:allow maporder -- keys are fully sorted below (storage pinned last) before any use
 	for p := range set {
 		if p.IsStorage() {
 			storage = true

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"rollrec/internal/ids"
+)
+
+// These tests are the runtime counterpart of rollvet's static wiresync
+// check (internal/analysis): the analyzer proves the constant table, the
+// sentinel, KindCount, and the String() names agree in the source; the
+// tests here prove the running codec agrees with that table.
+
+// kindConstNames parses wire.go and returns the constant names declared in
+// the Kind block (the GenDecl whose first spec is typed Kind), excluding the
+// kindMax sentinel. Counting the source directly keeps the test honest even
+// if a future refactor forgets to update KindCount.
+func kindConstNames(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "wire.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing wire.go: %v", err)
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST || len(gd.Specs) == 0 {
+			continue
+		}
+		first, ok := gd.Specs[0].(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if id, ok := first.Type.(*ast.Ident); !ok || id.Name != "Kind" {
+			continue
+		}
+		var names []string
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, n := range vs.Names {
+				if n.Name == "kindMax" || n.Name == "_" {
+					continue
+				}
+				names = append(names, n.Name)
+			}
+		}
+		return names
+	}
+	t.Fatal("wire.go has no Kind constant block")
+	return nil
+}
+
+// TestKindCountMatchesConstants pins KindCount to the number of declared
+// kinds: kinds start at 1, so a block of n kinds implies KindCount == n+1.
+func TestKindCountMatchesConstants(t *testing.T) {
+	names := kindConstNames(t)
+	if got, want := KindCount, len(names)+1; got != want {
+		t.Fatalf("KindCount = %d but wire.go declares %d kinds (%v); kindMax is out of sync",
+			got, len(names), names)
+	}
+}
+
+// TestKindStringsCompleteAndUnique walks every runtime kind value: each must
+// render a real, distinct trace name, and the first value past the table
+// must not.
+func TestKindStringsCompleteAndUnique(t *testing.T) {
+	seen := make(map[string]Kind, KindCount)
+	for k := Kind(1); int(k) < KindCount; k++ {
+		s := k.String()
+		if s == "kind?" {
+			t.Errorf("kind %d has no String() name", k)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kind %d and %d share the name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if s := Kind(KindCount).String(); s != "kind?" {
+		t.Errorf("Kind(KindCount) renders %q; the name table extends past kindMax", s)
+	}
+}
+
+// TestEveryKindRoundTrips encodes and decodes an envelope of every kind,
+// with representative optional fields, proving the codec accepts the whole
+// vocabulary and that Size stays in lockstep with Encode.
+func TestEveryKindRoundTrips(t *testing.T) {
+	for k := Kind(1); int(k) < KindCount; k++ {
+		e := &Envelope{
+			Kind:    k,
+			From:    1,
+			To:      2,
+			FromInc: 3,
+			Dseq:    7,
+			Ord:     ids.Ordinal{Clock: 5, Proc: 1},
+		}
+		frame := Encode(e)
+		if len(frame) != Size(e) {
+			t.Errorf("%v: Size = %d, encoded length = %d", k, Size(e), len(frame))
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", k, err)
+		}
+		if got.Kind != k {
+			t.Fatalf("%v: decoded kind %v", k, got.Kind)
+		}
+		if !equalEnvelopes(e, got) {
+			t.Fatalf("%v: round trip mismatch:\n in: %+v\nout: %+v", k, e, got)
+		}
+	}
+	// One past the vocabulary must be rejected, mirroring the decoder's
+	// bounds check that wiresync's [1, kindMax) invariant relies on.
+	bad := Encode(&Envelope{Kind: KindApp, From: 1, To: 2})
+	bad[1] = byte(KindCount)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("Decode accepted kind == kindMax")
+	}
+}
