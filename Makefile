@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench check
+.PHONY: all build test vet lint race bench bench-seed bench-micro check
 
 all: build test
 
@@ -27,7 +27,22 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# bench runs the tiny reference sweep (the same axes as the committed
+# BENCH_seed.json) and gates the result against it at threshold 0 — valid
+# because the sweep is deterministic byte-for-byte. See DESIGN.md §9.
+BENCH_AXES = -seeds 1,2 -n 4 -f 1 -profiles 1995 -styles nonblocking,blocking
 bench:
+	$(GO) run ./cmd/bench -label ci -out /tmp/BENCH_ci.json $(BENCH_AXES) -quiet
+	$(GO) run ./cmd/bench compare BENCH_seed.json /tmp/BENCH_ci.json -threshold 0
+
+# bench-seed regenerates the committed reference snapshot (and the golden
+# test fixture) after an intentional behavior change.
+bench-seed:
+	$(GO) test ./internal/bench -run TestGolden -update
+	$(GO) run ./cmd/bench -label seed -out BENCH_seed.json $(BENCH_AXES) -quiet
+
+# bench-micro is the Go micro-benchmark suite (trace hot path).
+bench-micro:
 	$(GO) test -bench=. -benchmem ./internal/trace/
 
-check: vet lint test race
+check: vet lint test race bench

@@ -11,6 +11,7 @@
 package rollrec
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -18,9 +19,11 @@ import (
 )
 
 // cell parses a duration-looking table cell ("34.1ms", "4.50s", "0") back
-// to milliseconds for metric reporting.
+// to milliseconds for metric reporting. Out-of-range coordinates and
+// unparseable cells report -1 rather than panicking, so a reshaped table
+// shows up as an impossible metric instead of a crashed benchmark.
 func cell(t *Table, row, col int) float64 {
-	if row >= len(t.Rows) || col >= len(t.Rows[row]) {
+	if row < 0 || col < 0 || row >= len(t.Rows) || col >= len(t.Rows[row]) {
 		return -1
 	}
 	s := t.Rows[row][col]
@@ -36,11 +39,47 @@ func cell(t *Table, row, col int) float64 {
 	return -1
 }
 
+// TestCell pins cell's contract on malformed and out-of-range input: the
+// benchmarks above index tables positionally, so cell must degrade to -1
+// (never panic) when an experiment's table changes shape underneath them.
+func TestCell(t *testing.T) {
+	tbl := Table{Rows: [][]string{
+		{"label", "34.1ms", "4.50s", "0", "2.5", " 7 ", "n/a", ""},
+	}}
+	cases := []struct {
+		name     string
+		row, col int
+		want     float64
+	}{
+		{"duration ms", 0, 1, 34.1},
+		{"duration s", 0, 2, 4500},
+		{"bare zero", 0, 3, 0},
+		{"plain float", 0, 4, 2.5},
+		{"padded int", 0, 5, 7},
+		{"non-numeric", 0, 6, -1},
+		{"empty cell", 0, 7, -1},
+		{"text label", 0, 0, -1},
+		{"col past end", 0, 8, -1},
+		{"row past end", 1, 0, -1},
+		{"negative row", -1, 0, -1},
+		{"negative col", 0, -1, -1},
+	}
+	for _, tc := range cases {
+		if got := cell(&tbl, tc.row, tc.col); got != tc.want {
+			t.Errorf("%s: cell(%d,%d) = %v, want %v", tc.name, tc.row, tc.col, got, tc.want)
+		}
+	}
+	empty := Table{}
+	if got := cell(&empty, 0, 0); got != -1 {
+		t.Errorf("empty table: got %v, want -1", got)
+	}
+}
+
 // BenchmarkE1SingleFailure regenerates E1: the paper's first experiment
 // (single failure, equal recovery time, ≈50 ms blocking vs none).
 func BenchmarkE1SingleFailure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := E1(1)
+		t := E1(context.Background(), 1)
 		b.ReportMetric(cell(&t, 0, 1), "recovery_new_ms")
 		b.ReportMetric(cell(&t, 1, 2), "blocked_baseline_ms")
 		b.ReportMetric(cell(&t, 0, 2), "blocked_new_ms")
@@ -52,7 +91,7 @@ func BenchmarkE1SingleFailure(b *testing.B) {
 // every live process for the window).
 func BenchmarkE2OverlappingFailures(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := E2(1)
+		t := E2(context.Background(), 1)
 		b.ReportMetric(cell(&t, 0, 2), "recovery_second_ms")
 		b.ReportMetric(cell(&t, 1, 3), "blocked_baseline_ms")
 		b.ReportMetric(cell(&t, 0, 3), "blocked_new_ms")
@@ -62,7 +101,7 @@ func BenchmarkE2OverlappingFailures(b *testing.B) {
 // BenchmarkD1ScaleN regenerates D1: intrusion vs cluster size.
 func BenchmarkD1ScaleN(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D1(1)
+		t := D1(context.Background(), 1)
 		// Last blocking row: n=32.
 		b.ReportMetric(cell(&t, len(t.Rows)-1, 3), "blocked_n32_ms")
 	}
@@ -72,7 +111,7 @@ func BenchmarkD1ScaleN(b *testing.B) {
 // penalty (the paper's thesis).
 func BenchmarkD2StorageSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D2(1)
+		t := D2(context.Background(), 1)
 		b.ReportMetric(cell(&t, len(t.Rows)-2, 3), "blocked_blocking_x16_ms")
 		b.ReportMetric(cell(&t, len(t.Rows)-3, 3), "blocked_new_x16_ms")
 	}
@@ -82,7 +121,7 @@ func BenchmarkD2StorageSweep(b *testing.B) {
 // metric (the new algorithm pays more control messages).
 func BenchmarkD3MessageCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D3(1)
+		t := D3(context.Background(), 1)
 		b.ReportMetric(cell(&t, len(t.Rows)-2, 2), "ctlmsgs_new_n16")
 		b.ReportMetric(cell(&t, len(t.Rows)-1, 2), "ctlmsgs_baseline_n16")
 	}
@@ -91,7 +130,7 @@ func BenchmarkD3MessageCounts(b *testing.B) {
 // BenchmarkD4FailureFreeOverhead regenerates D4: piggyback cost vs f.
 func BenchmarkD4FailureFreeOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D4(1)
+		t := D4(context.Background(), 1)
 		b.ReportMetric(cell(&t, 0, 1), "dets_per_msg_f1")
 		b.ReportMetric(cell(&t, len(t.Rows)-1, 1), "dets_per_msg_fn")
 	}
@@ -100,7 +139,7 @@ func BenchmarkD4FailureFreeOverhead(b *testing.B) {
 // BenchmarkD5Breakdown regenerates D5: the recovery-time phase breakdown.
 func BenchmarkD5Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D5(1)
+		t := D5(context.Background(), 1)
 		b.ReportMetric(cell(&t, 0, 2), "detect_ms")
 		b.ReportMetric(cell(&t, 0, 3), "restore_ms")
 		b.ReportMetric(cell(&t, 0, 4), "gather_ms")
@@ -110,7 +149,7 @@ func BenchmarkD5Breakdown(b *testing.B) {
 // BenchmarkD6ManethoMode regenerates D6: intrusion by recovery style.
 func BenchmarkD6ManethoMode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D6(1)
+		t := D6(context.Background(), 1)
 		b.ReportMetric(cell(&t, 2, 1), "blocked_manetho_ms")
 		b.ReportMetric(cell(&t, 1, 1), "blocked_blocking_ms")
 	}
@@ -120,7 +159,7 @@ func BenchmarkD6ManethoMode(b *testing.B) {
 // starts to matter again.
 func BenchmarkD7NetworkSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D7(1)
+		t := D7(context.Background(), 1)
 		b.ReportMetric(cell(&t, len(t.Rows)-2, 3), "gather_wan_ms")
 		b.ReportMetric(cell(&t, 0, 3), "gather_lan_ms")
 	}
@@ -130,7 +169,7 @@ func BenchmarkD7NetworkSweep(b *testing.B) {
 // validated against the simulator.
 func BenchmarkD8ModelValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D8(1)
+		t := D8(context.Background(), 1)
 		// Model/measured ratio for the blocking style's intrusion.
 		b.ReportMetric(cell(&t, 9, 4), "blocked_model_over_measured")
 	}
@@ -140,7 +179,7 @@ func BenchmarkD8ModelValidation(b *testing.B) {
 // coordinated checkpointing with global rollback.
 func BenchmarkD9CoordinatedComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D9(1)
+		t := D9(context.Background(), 1)
 		b.ReportMetric(cell(&t, 0, 3), "redone_logging")
 		b.ReportMetric(cell(&t, 1, 3), "redone_coordinated")
 		b.ReportMetric(cell(&t, 1, 2), "blocked_coordinated_ms")
@@ -151,7 +190,7 @@ func BenchmarkD9CoordinatedComparison(b *testing.B) {
 // optimistic logging.
 func BenchmarkD10Orphans(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := D10(1)
+		t := D10(context.Background(), 1)
 		b.ReportMetric(cell(&t, 0, 1), "orphans_fbl")
 		b.ReportMetric(cell(&t, 1, 1), "orphans_optimistic")
 		b.ReportMetric(cell(&t, 1, 2), "lost_optimistic")

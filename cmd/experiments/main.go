@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -21,7 +23,7 @@ import (
 var registry = []struct {
 	id   string
 	desc string
-	run  func(int64) experiments.Table
+	run  func(context.Context, int64) experiments.Table
 }{
 	{"E1", "single failure (paper §5, first experiment)", experiments.E1},
 	{"E2", "second failure during recovery (paper §5, second experiment)", experiments.E2},
@@ -66,13 +68,22 @@ func main() {
 		}
 	}
 
+	// Ctrl-C cancels the in-flight simulation via the experiments context
+	// instead of killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ran := 0
 	for _, e := range registry {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
 		start := time.Now() //rollvet:allow simtime -- wall-clock progress reporting for the operator, not protocol time
-		table := e.run(*seed)
+		table := e.run(ctx, *seed)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Println(table.String())
 		//rollvet:allow simtime -- wall-clock progress reporting for the operator, not protocol time
 		fmt.Printf("(%s computed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))

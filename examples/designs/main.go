@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"rollrec"
@@ -17,8 +18,8 @@ import (
 func main() {
 	fmt.Println("one crash, eight processes, 1995 hardware — three recovery designs:")
 	fmt.Println()
-	fmt.Println(rollrec.D9(1).String())
-	fmt.Println(rollrec.D10(1).String())
+	fmt.Println(rollrec.D9(context.Background(), 1).String())
+	fmt.Println(rollrec.D10(context.Background(), 1).String())
 	fmt.Println("logging confines the failure to the failed process; every other design")
 	fmt.Println("makes survivors pay — with stalls, lost work, or orphaned state.")
 }

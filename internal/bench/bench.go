@@ -1,0 +1,207 @@
+// Package bench is the parallel sweep/benchmark harness: it fans the
+// deterministic experiments across a bounded worker pool and emits
+// versioned BENCH_*.json snapshots of the paper's quantities (recovery
+// time, live-process blocked time, recovery control traffic) over a
+// parameter grid of seed × cluster size × failure count × hardware
+// profile × recovery style.
+//
+// Each cell of the grid is one single-threaded, deterministic simulation
+// (experiments.Run), so cells are embarrassingly parallel: the pool only
+// changes wall-clock time, never results. Cells are generated in sorted
+// parameter-key order and written back by index, which makes the snapshot
+// byte-stable across runs, worker counts, and GOMAXPROCS settings — the
+// property the golden tests and the CI regression gate rely on.
+//
+// The compare half (Compare) diffs two snapshots cell-by-cell and reports
+// cost increases beyond a threshold, giving CI a perf gate over the same
+// numbers EXPERIMENTS.md discusses. See DESIGN.md §9 for the schema and
+// the determinism argument.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rollrec/internal/experiments"
+	"rollrec/internal/failure"
+	"rollrec/internal/ids"
+	"rollrec/internal/node"
+	"rollrec/internal/recovery"
+)
+
+// styles maps the wire-format style names to recovery styles. Kept in
+// explicit sorted-name order so Styles() doubles as the canonical axis
+// order.
+var styleNames = []string{"blocking", "manetho", "nonblocking"}
+
+func styleOf(name string) (recovery.Style, error) {
+	switch name {
+	case "nonblocking":
+		return recovery.NonBlocking, nil
+	case "blocking":
+		return recovery.Blocking, nil
+	case "manetho":
+		return recovery.Manetho, nil
+	}
+	return 0, fmt.Errorf("bench: unknown style %q (have %v)", name, styleNames)
+}
+
+// profileNames lists the hardware profiles in canonical axis order.
+var profileNames = []string{"1995", "modern"}
+
+func profileOf(name string) (node.Hardware, error) {
+	switch name {
+	case "1995":
+		return node.Profile1995(), nil
+	case "modern":
+		return node.ProfileModern(), nil
+	}
+	return node.Hardware{}, fmt.Errorf("bench: unknown hardware profile %q (have %v)", name, profileNames)
+}
+
+// Axes is the sweep grid: the cross product of its fields is the cell set.
+// Empty axes are invalid — a sweep must pin every dimension explicitly so
+// two snapshots with equal axes are comparable cell-for-cell.
+type Axes struct {
+	Seeds []int64 `json:"seeds"`
+	// N is the cluster size axis.
+	N []int `json:"n"`
+	// Failures is the failure-count axis: the number of crashes injected
+	// AND the tolerance f the protocol is configured for (f = max(1,
+	// failures), so a failure-free cell measures the f=1 logging overhead).
+	Failures []int `json:"failures"`
+	// Profiles names hardware profiles ("1995", "modern").
+	Profiles []string `json:"profiles"`
+	// Styles names recovery styles ("nonblocking", "blocking", "manetho").
+	Styles []string `json:"styles"`
+}
+
+// Params are one cell's coordinates in the grid.
+type Params struct {
+	Seed     int64  `json:"seed"`
+	N        int    `json:"n"`
+	Failures int    `json:"failures"`
+	Profile  string `json:"profile"`
+	Style    string `json:"style"`
+}
+
+// Key renders the parameter key the cells are sorted by.
+func (p Params) Key() string {
+	return fmt.Sprintf("seed=%d/n=%d/f=%d/hw=%s/style=%s",
+		p.Seed, p.N, p.Failures, p.Profile, p.Style)
+}
+
+// normalize sorts and deduplicates one axis in place.
+func normalize[T int | int64 | string](xs []T) []T {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Cells validates the axes and expands them into the sorted cell list:
+// nested in key order (seed, n, failures, profile, style), which is
+// exactly ascending Params.Key order.
+func (a Axes) Cells() ([]Params, error) {
+	if len(a.Seeds) == 0 || len(a.N) == 0 || len(a.Failures) == 0 ||
+		len(a.Profiles) == 0 || len(a.Styles) == 0 {
+		return nil, fmt.Errorf("bench: every axis needs at least one value, got %+v", a)
+	}
+	a.Seeds = normalize(a.Seeds)
+	a.N = normalize(a.N)
+	a.Failures = normalize(a.Failures)
+	a.Profiles = normalize(a.Profiles)
+	a.Styles = normalize(a.Styles)
+	for _, s := range a.Styles {
+		if _, err := styleOf(s); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range a.Profiles {
+		if _, err := profileOf(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range a.N {
+		if n < 2 || n > 64 {
+			return nil, fmt.Errorf("bench: cluster size n=%d out of range [2,64]", n)
+		}
+	}
+	for _, f := range a.Failures {
+		if f < 0 {
+			return nil, fmt.Errorf("bench: failure count %d < 0", f)
+		}
+		for _, n := range a.N {
+			if f >= n {
+				return nil, fmt.Errorf("bench: %d failures need a cluster larger than n=%d", f, n)
+			}
+		}
+	}
+	var cells []Params
+	for _, seed := range a.Seeds {
+		for _, n := range a.N {
+			for _, f := range a.Failures {
+				for _, hw := range a.Profiles {
+					for _, style := range a.Styles {
+						cells = append(cells, Params{
+							Seed: seed, N: n, Failures: f, Profile: hw, Style: style,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// crashSpacing staggers injected crashes so each recovery window is
+// disjoint on the 1995 profile (detection ≈3 s + restore ≈1.5 s); the
+// first crash lands after the workload has built up log and checkpoint
+// state, like the experiments' scenarios.
+const (
+	firstCrashAt = 10 * time.Second
+	crashSpacing = 8 * time.Second
+)
+
+// SpecFor derives the experiment spec for one cell from the same
+// PaperSpec baseline the E/D experiments use. Victims are processes
+// 1..Failures, crashed crashSpacing apart starting at firstCrashAt; the
+// horizon leaves every recovery room to complete.
+func SpecFor(p Params) (experiments.Spec, error) {
+	style, err := styleOf(p.Style)
+	if err != nil {
+		return experiments.Spec{}, err
+	}
+	hw, err := profileOf(p.Profile)
+	if err != nil {
+		return experiments.Spec{}, err
+	}
+	if p.N < 2 || p.N > 64 {
+		return experiments.Spec{}, fmt.Errorf("bench: cluster size n=%d out of range [2,64]", p.N)
+	}
+	if p.Failures < 0 || p.Failures >= p.N {
+		return experiments.Spec{}, fmt.Errorf("bench: failure count %d out of range [0,n) for n=%d", p.Failures, p.N)
+	}
+	spec := experiments.PaperSpec(style, p.Seed)
+	spec.N = p.N
+	spec.HW = hw
+	spec.F = p.Failures
+	if spec.F < 1 {
+		spec.F = 1
+	}
+	var plan failure.Plan
+	for i := 0; i < p.Failures; i++ {
+		plan = append(plan, failure.Crash{
+			At:   firstCrashAt + time.Duration(i)*crashSpacing,
+			Proc: ids.ProcID(1 + i),
+		})
+	}
+	spec.Crashes = plan
+	spec.Horizon = 20*time.Second + time.Duration(p.Failures)*10*time.Second
+	return spec, nil
+}

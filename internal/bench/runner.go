@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"rollrec/internal/experiments"
+	"rollrec/internal/ids"
+)
+
+// Progress is called (serialized) after each cell completes. done counts
+// completed cells; order of completion is nondeterministic, but only the
+// stderr progress line sees it — snapshot cells are stored by index.
+type Progress func(done, total int, c Cell)
+
+// Options tune a sweep run.
+type Options struct {
+	// Workers bounds the pool; <=0 means GOMAXPROCS.
+	Workers int
+	// OnCell, if non-nil, observes completed cells for progress reporting.
+	OnCell Progress
+	// Meta is copied into the snapshot (Schema is forced).
+	Meta Meta
+}
+
+// RunSweep expands the axes, runs every cell on a bounded worker pool,
+// and returns the snapshot with cells in sorted parameter-key order.
+//
+// Each cell is one deterministic single-threaded simulation; the pool is
+// pure fan-out with results written back by cell index, so the returned
+// snapshot is identical for any worker count. On ctx cancellation the
+// sweep aborts and returns ctx's error — a partial sweep is never
+// reported, because a snapshot missing cells would read as a regression.
+func RunSweep(ctx context.Context, axes Axes, opts Options) (*Snapshot, error) {
+	cells, err := axes.Cells()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	out := make([]Cell, len(cells))
+	errs := make([]error, len(cells))
+	idxc := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // serializes OnCell and the done counter
+		done     int
+		progress = opts.OnCell
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxc {
+				c, err := runCell(ctx, cells[i])
+				out[i], errs[i] = c, err
+				if err == nil && progress != nil {
+					mu.Lock()
+					done++
+					progress(done, len(cells), c)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case idxc <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxc)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	meta := opts.Meta
+	meta.Schema = SchemaVersion
+	return &Snapshot{Meta: meta, Axes: axes, Cells: out}, nil
+}
+
+// runCell executes one parameter combination and aggregates its metrics.
+func runCell(ctx context.Context, p Params) (Cell, error) {
+	spec, err := SpecFor(p)
+	if err != nil {
+		return Cell{}, err
+	}
+	r, err := experiments.Run(ctx, spec)
+	if err != nil {
+		return Cell{}, err
+	}
+
+	crashed := map[ids.ProcID]bool{}
+	for _, cr := range spec.Crashes {
+		crashed[cr.Proc] = true
+	}
+	var recoveries, blocked []time.Duration
+	var delivered int64
+	for i := 0; i < spec.N; i++ {
+		m := r.C.Metrics(ids.ProcID(i))
+		delivered += m.Delivered
+		for _, tr := range m.Recoveries {
+			if tr.ReplayedAt != 0 {
+				recoveries = append(recoveries, tr.Total())
+			}
+		}
+		if !crashed[ids.ProcID(i)] {
+			blocked = append(blocked, m.BlockedTotal())
+		}
+	}
+	msgs, bytes := r.RecoveryTraffic()
+	return Cell{
+		Key:        p.Key(),
+		Params:     p,
+		Recovery:   distOf(recoveries),
+		Recoveries: len(recoveries),
+		Blocked:    distOf(blocked),
+		CtlMsgs:    msgs,
+		CtlBytes:   bytes,
+		Delivered:  delivered,
+		SimEvents:  r.Events,
+		SimMS:      ms(spec.Horizon),
+		Errors:     len(r.Errors),
+	}, nil
+}

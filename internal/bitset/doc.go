@@ -1,0 +1,7 @@
+// Package bitset provides a compact set of small non-negative integers.
+//
+// The protocol uses bitsets to track which hosts hold a copy of a
+// determinant (the Log(m) set of the Family-Based Logging protocols): a
+// determinant is stable once its holder set has reached cardinality f+1.
+// Sets are value types; the zero value is the empty set.
+package bitset

@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -100,7 +101,7 @@ func New(cfg Config) *Cluster {
 	par := fbl.Params{
 		N:               cfg.N,
 		F:               cfg.F,
-		App:             cfg.App,
+		App:             workload.Seeded(cfg.App, cfg.Seed),
 		Style:           cfg.Style,
 		CheckpointEvery: cfg.CheckpointEvery,
 		StatePad:        cfg.StatePad,
@@ -185,6 +186,15 @@ func (c *Cluster) onLive(self ids.ProcID, inc ids.Incarnation, ssn ids.SSN, rsn 
 
 // Run advances virtual time to the given instant since start.
 func (c *Cluster) Run(until time.Duration) { c.K.Run(until) }
+
+// RunContext advances virtual time to the given instant since start,
+// stopping early when ctx is done. It returns the number of simulator
+// events processed — the deterministic cost of simulating the scenario,
+// which the bench harness reports as sim_events — and ctx's error if the
+// run was cut short.
+func (c *Cluster) RunContext(ctx context.Context, until time.Duration) (int64, error) {
+	return c.K.RunContext(ctx, until)
+}
 
 // Crash schedules a crash of process p at virtual time at.
 func (c *Cluster) Crash(at time.Duration, p ids.ProcID) {

@@ -1,0 +1,30 @@
+// Package coord implements the classic alternative to log-based recovery:
+// coordinated checkpointing with Chandy–Lamport snapshots [6] and global
+// rollback, the style of protocol the paper's related work contrasts FBL
+// against.
+//
+// Failure-free operation is cheap — no logging, no piggybacking, only a
+// periodic marker flood and a stable-storage write per process per
+// snapshot. The price appears at failure time: there is no way to replay a
+// single process, so EVERY process rolls back to the last committed global
+// snapshot. The work since that snapshot is lost cluster-wide, and every
+// live process stalls for a stable-storage restore — exactly the intrusion
+// the paper's recovery algorithm exists to avoid. Experiment D9 puts the
+// two designs side by side.
+//
+// Protocol sketch:
+//
+//   - Process 0 initiates snapshot s on a timer: it records its local
+//     state, then sends a marker on every channel and starts recording
+//     in-flight messages per incoming channel.
+//   - On its first marker for s, a process records its state, relays
+//     markers, and records each incoming channel until that channel's
+//     marker arrives (FIFO channels make this exact).
+//   - A process whose every channel is closed sends its snapshot to stable
+//     storage and acknowledges the initiator; when all acknowledge, the
+//     initiator broadcasts a commit, and s becomes the recovery line.
+//   - Any crash: the restarted process reads the committed line and
+//     broadcasts a rollback; everyone restores snapshot s (paying the
+//     storage read), bumps the epoch (stale frames are dropped), and
+//     re-injects the recorded channel messages.
+package coord

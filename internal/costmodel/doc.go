@@ -1,0 +1,14 @@
+// Package costmodel is the "theoretical formulation" the paper's
+// conclusion asks for: closed-form predictions of what a recovery costs —
+// the recovering process's downtime and, crucially, the intrusion imposed
+// on every live process — expressed in terms of the technology parameters
+// (network latency/bandwidth, CPU per-message cost, stable-storage latency,
+// failure-detection timeouts) rather than the message count alone.
+//
+// The model deliberately mirrors the paper's argument: the traditional
+// metric (messages exchanged) appears only inside the Gather term, which
+// the parameters of modern systems make small; the detection and
+// stable-storage terms, which message-complexity analysis ignores, are the
+// ones that grow. The experiments package validates these formulas against
+// the discrete-event simulator (experiment D8).
+package costmodel

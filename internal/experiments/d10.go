@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"rollrec/internal/failure"
@@ -9,6 +10,7 @@ import (
 	"rollrec/internal/recovery"
 	"rollrec/internal/sim"
 	"rollrec/internal/wire"
+	"rollrec/internal/workload"
 )
 
 // D10 puts the paper's §6 taxonomy on one table: optimistic logging is
@@ -16,7 +18,7 @@ import (
 // of a failure (they roll back and lose work); the FBL family with the
 // paper's recovery algorithm pays causal piggybacking up front and, at
 // failure time, touches nobody.
-func D10(seed int64) Table {
+func D10(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D10",
 		Title:   "orphans: FBL vs optimistic logging (single failure, n=8)",
@@ -28,9 +30,12 @@ func D10(seed int64) Table {
 	}
 
 	// FBL + the paper's non-blocking recovery.
-	spec := paperSpec(recovery.NonBlocking, seed)
+	spec := PaperSpec(recovery.NonBlocking, seed)
 	spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 3}}
-	r := MustRun(spec)
+	r := MustRun(ctx, spec)
+	if ctx.Err() != nil {
+		return t
+	}
 	var appMsgs, piggyBytes int64
 	for i := 0; i < spec.N; i++ {
 		m := r.C.Metrics(ids.ProcID(i))
@@ -44,7 +49,10 @@ func D10(seed int64) Table {
 		float64(piggyBytes)/float64(appMsgs), r.Victim(3).Total())
 
 	// Optimistic logging with asynchronous receiver-side logs.
-	o := runOptimistic(seed, spec.Horizon)
+	o := runOptimistic(ctx, seed, spec.Horizon)
+	if ctx.Err() != nil {
+		return t
+	}
 	t.AddRow("optimistic (Strom–Yemini style)", o.orphans, o.lost,
 		o.dvBytesPerMsg, o.victimRecovery)
 	return t
@@ -57,15 +65,15 @@ type optimisticResult struct {
 	victimRecovery time.Duration
 }
 
-func runOptimistic(seed int64, horizon time.Duration) optimisticResult {
+func runOptimistic(ctx context.Context, seed int64, horizon time.Duration) optimisticResult {
 	const n = 8
-	spec := paperSpec(recovery.NonBlocking, seed)
+	spec := PaperSpec(recovery.NonBlocking, seed)
 	k := sim.New(sim.Config{Seed: seed, HW: spec.HW})
 	var out optimisticResult
 	orphaned := map[ids.ProcID]bool{}
 	par := optimistic.Params{
 		N:          n,
-		App:        spec.App,
+		App:        workload.Seeded(spec.App, seed),
 		FlushEvery: 500 * time.Millisecond,
 		StatePad:   4 << 10,
 		Hooks: optimistic.Hooks{
@@ -82,7 +90,9 @@ func runOptimistic(seed int64, horizon time.Duration) optimisticResult {
 	}
 	k.Boot()
 	k.CrashAt(10*time.Second, 3)
-	k.Run(horizon)
+	if _, err := k.RunContext(ctx, horizon); err != nil {
+		return optimisticResult{}
+	}
 
 	out.orphans = len(orphaned)
 	if tr := k.Metrics(3).CurrentRecovery(); tr != nil && tr.ReplayedAt != 0 {

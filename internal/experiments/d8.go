@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,7 +16,7 @@ import (
 // "theoretical formulation", §7) against the simulator: for the E1
 // scenario it compares the predicted and measured recovery-phase times and
 // per-live-process intrusion, per recovery style.
-func D8(seed int64) Table {
+func D8(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D8",
 		Title:   "analytical model vs simulation (single failure, n=8, f=2)",
@@ -26,9 +27,12 @@ func D8(seed int64) Table {
 		},
 	}
 	for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking, recovery.Manetho} {
-		spec := paperSpec(style, seed)
+		spec := PaperSpec(style, seed)
 		spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 3}}
-		r := MustRun(spec)
+		r := MustRun(ctx, spec)
+		if ctx.Err() != nil {
+			return t
+		}
 		tr := r.Victim(3)
 		b := BreakdownOf(tr)
 		meanBlocked, _ := r.LiveBlocked()

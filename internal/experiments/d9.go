@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"rollrec/internal/coord"
@@ -8,6 +9,7 @@ import (
 	"rollrec/internal/ids"
 	"rollrec/internal/recovery"
 	"rollrec/internal/sim"
+	"rollrec/internal/workload"
 )
 
 // D9 compares the paper's protocol family against the classic alternative
@@ -16,7 +18,7 @@ import (
 // confines a failure's cost to the failed process; a coordinated protocol
 // makes every process roll back and redo work, and stalls every live
 // process for a stable-storage restore.
-func D9(seed int64) Table {
+func D9(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D9",
 		Title:   "message logging vs coordinated checkpointing (single failure, n=8)",
@@ -28,9 +30,12 @@ func D9(seed int64) Table {
 	}
 
 	// Message logging with the paper's non-blocking recovery.
-	spec := paperSpec(recovery.NonBlocking, seed)
+	spec := PaperSpec(recovery.NonBlocking, seed)
 	spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 3}}
-	r := MustRun(spec)
+	r := MustRun(ctx, spec)
+	if ctx.Err() != nil {
+		return t
+	}
 	victim := r.Victim(3)
 	mean, _ := r.LiveBlocked()
 	met3 := r.C.Metrics(3)
@@ -45,7 +50,10 @@ func D9(seed int64) Table {
 	t.AddRow("fbl + nonblocking recovery", victim.Total(), mean, redone, ffWrites)
 
 	// Coordinated checkpointing with global rollback.
-	c := runCoord(seed, spec.Horizon)
+	c := runCoord(ctx, seed, spec.Horizon)
+	if ctx.Err() != nil {
+		return t
+	}
 	t.AddRow("coordinated (Chandy–Lamport)", c.victimRecovery, c.liveBlockedMean, c.lost, c.storageWrites)
 	return t
 }
@@ -59,14 +67,14 @@ type coordResult struct {
 
 // runCoord executes the coordinated-checkpointing scenario matching D9's
 // logging run: same hardware, same gossip shape, one crash at t=10s.
-func runCoord(seed int64, horizon time.Duration) coordResult {
+func runCoord(ctx context.Context, seed int64, horizon time.Duration) coordResult {
 	const n = 8
-	spec := paperSpec(recovery.NonBlocking, seed)
+	spec := PaperSpec(recovery.NonBlocking, seed)
 	k := sim.New(sim.Config{Seed: seed, HW: spec.HW})
 	var lost int64
 	par := coord.Params{
 		N:             n,
-		App:           spec.App,
+		App:           workload.Seeded(spec.App, seed),
 		SnapshotEvery: spec.CPEvery,
 		StatePad:      spec.Pad,
 		Hooks: coord.Hooks{
@@ -78,7 +86,9 @@ func runCoord(seed int64, horizon time.Duration) coordResult {
 	}
 	k.Boot()
 	k.CrashAt(10*time.Second, 3)
-	k.Run(horizon)
+	if _, err := k.RunContext(ctx, horizon); err != nil {
+		return coordResult{}
+	}
 
 	out := coordResult{lost: lost}
 	if tr := k.Metrics(3).CurrentRecovery(); tr != nil && tr.ReplayedAt != 0 {

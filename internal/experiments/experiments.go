@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -109,10 +110,12 @@ type Spec struct {
 	Tracer trace.Tracer
 }
 
-// paperSpec is the baseline configuration modeled on the paper's testbed:
+// PaperSpec is the baseline configuration modeled on the paper's testbed:
 // eight workstations, f = 2, ~1 MB process images, an active irregular
-// workload, and era hardware.
-func paperSpec(style recovery.Style, seed int64) Spec {
+// workload, and era hardware. The experiments and the bench sweep harness
+// both derive their scenarios from it, so the paper tables and the sweep
+// snapshots can never drift apart.
+func PaperSpec(style recovery.Style, seed int64) Spec {
 	return Spec{
 		N:     8,
 		F:     2,
@@ -132,14 +135,23 @@ func paperSpec(style recovery.Style, seed int64) Spec {
 
 // Result captures what the experiments read out of a finished run.
 type Result struct {
-	C        *cluster.Cluster
-	Spec     Spec
-	Errors   []error
+	C    *cluster.Cluster
+	Spec Spec
+	// Errors are the cross-process invariant violations found after the
+	// run (empty on a consistent run).
+	Errors []error
+	// Events is the number of simulator events processed — the
+	// deterministic cost of simulating the scenario, independent of the
+	// host's wall clock.
+	Events   int64
 	recStart map[ids.ProcID]int64
 }
 
-// Run executes a spec to its horizon and returns the collected result.
-func Run(spec Spec) *Result {
+// Run executes a spec to its horizon, or until ctx is done, and returns the
+// collected result. On cancellation the returned Result covers the prefix
+// of virtual time that ran (its invariants are NOT checked — a cut-short
+// run is consistent but incomplete) and the error is ctx's.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
 	tr := spec.Tracer
 	if tr == nil {
 		tr = DefaultTracer
@@ -156,14 +168,23 @@ func Run(spec Spec) *Result {
 		Tracer:          tr,
 	})
 	c.ApplyPlan(spec.Crashes)
-	c.Run(spec.Horizon)
-	return &Result{C: c, Spec: spec, Errors: c.Check()}
+	events, err := c.RunContext(ctx, spec.Horizon)
+	r := &Result{C: c, Spec: spec, Events: events}
+	if err != nil {
+		return r, err
+	}
+	r.Errors = c.Check()
+	return r, nil
 }
 
 // MustRun panics on invariant violations — experiments must only report
-// numbers from consistent runs.
-func MustRun(spec Spec) *Result {
-	r := Run(spec)
+// numbers from consistent runs. A ctx-cancelled run returns its partial
+// result unchecked; callers bail out via ctx.Err().
+func MustRun(ctx context.Context, spec Spec) *Result {
+	r, err := Run(ctx, spec)
+	if err != nil {
+		return r
+	}
 	// The gossip workload never reports Done, so liveness errors about the
 	// workload itself do not occur; any error here is a real violation.
 	if len(r.Errors) > 0 {

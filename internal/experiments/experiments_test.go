@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -79,7 +80,7 @@ func fastSpec(style recovery.Style) Spec {
 }
 
 func TestRunCollectsVictimAndBlocked(t *testing.T) {
-	r := MustRun(fastSpec(recovery.Blocking))
+	r := MustRun(context.Background(), fastSpec(recovery.Blocking))
 	tr := r.Victim(1)
 	if tr == nil || tr.ReplayedAt == 0 {
 		t.Fatal("victim trace incomplete")
@@ -95,7 +96,7 @@ func TestRunCollectsVictimAndBlocked(t *testing.T) {
 }
 
 func TestNonBlockingRunBlocksNobody(t *testing.T) {
-	r := MustRun(fastSpec(recovery.NonBlocking))
+	r := MustRun(context.Background(), fastSpec(recovery.NonBlocking))
 	if mean, max := r.LiveBlocked(); mean != 0 || max != 0 {
 		t.Fatalf("nonblocking run blocked lives: mean=%v max=%v", mean, max)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"rollrec/internal/failure"
@@ -12,7 +13,7 @@ import (
 // an eight-workstation cluster. The paper reports equal recovery time for
 // both algorithms, ≈50 ms of blocking per live process under the blocking
 // algorithm, and no effect on live processes under the new one.
-func E1(seed int64) Table {
+func E1(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "E1",
 		Title:   "single failure, n=8, f=2, 1995 hardware profile",
@@ -22,9 +23,12 @@ func E1(seed int64) Table {
 		},
 	}
 	for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking} {
-		spec := paperSpec(style, seed)
+		spec := PaperSpec(style, seed)
 		spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 3}}
-		r := MustRun(spec)
+		r := MustRun(ctx, spec)
+		if ctx.Err() != nil {
+			return t
+		}
 		tr := r.Victim(3)
 		mean, max := r.LiveBlocked()
 		msgs, _ := r.RecoveryTraffic()
@@ -38,7 +42,7 @@ func E1(seed int64) Table {
 // (failure detection plus state restore dominate); the blocking algorithm
 // blocks every live process for that whole window, while the new
 // algorithm's extra second-phase communication costs only milliseconds.
-func E2(seed int64) Table {
+func E2(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "E2",
 		Title:   "second failure during recovery, n=8, f=2",
@@ -49,7 +53,7 @@ func E2(seed int64) Table {
 		},
 	}
 	for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking} {
-		spec := paperSpec(style, seed)
+		spec := PaperSpec(style, seed)
 		spec.Crashes = failure.Plan{
 			{At: 10 * time.Second, Proc: 3},
 			// 1995 profile: p3 restarts at 13.5s, restores by ~14s, gathers;
@@ -57,7 +61,10 @@ func E2(seed int64) Table {
 			{At: 14100 * time.Millisecond, Proc: 5},
 		}
 		spec.Horizon = 45 * time.Second
-		r := MustRun(spec)
+		r := MustRun(ctx, spec)
+		if ctx.Err() != nil {
+			return t
+		}
 		tr3, tr5 := r.Victim(3), r.Victim(5)
 		mean, max := r.LiveBlocked()
 		rounds := tr3.Rounds
@@ -72,7 +79,7 @@ func E2(seed int64) Table {
 // D5 reports the recovery-time breakdown behind E1 and E2 — making visible
 // the paper's claim that detection and stable-storage restore, not
 // communication, dominate recovery.
-func D5(seed int64) Table {
+func D5(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D5",
 		Title:   "recovery-time breakdown (nonblocking algorithm)",
@@ -81,19 +88,25 @@ func D5(seed int64) Table {
 			"paper §5: 'most of this time was spent in failure detection and in restoring the state'",
 		},
 	}
-	one := paperSpec(recovery.NonBlocking, seed)
+	one := PaperSpec(recovery.NonBlocking, seed)
 	one.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 3}}
-	r1 := MustRun(one)
+	r1 := MustRun(ctx, one)
+	if ctx.Err() != nil {
+		return t
+	}
 	b := BreakdownOf(r1.Victim(3))
 	t.AddRow("single failure", "p3", b.DetectRestart, b.Restore, b.Gather, b.Replay, b.Total)
 
-	two := paperSpec(recovery.NonBlocking, seed)
+	two := PaperSpec(recovery.NonBlocking, seed)
 	two.Crashes = failure.Plan{
 		{At: 10 * time.Second, Proc: 3},
 		{At: 14100 * time.Millisecond, Proc: 5},
 	}
 	two.Horizon = 45 * time.Second
-	r2 := MustRun(two)
+	r2 := MustRun(ctx, two)
+	if ctx.Err() != nil {
+		return t
+	}
 	b3 := BreakdownOf(r2.Victim(3))
 	b5 := BreakdownOf(r2.Victim(5))
 	t.AddRow("overlapping, first", "p3", b3.DetectRestart, b3.Restore, b3.Gather, b3.Replay, b3.Total)
@@ -104,7 +117,7 @@ func D5(seed int64) Table {
 // D6 is the Manetho-mode ablation: live processes must synchronously log
 // their recovery replies to stable storage (paper §2.2), so the gather —
 // and with it every live process's stall — absorbs a disk write.
-func D6(seed int64) Table {
+func D6(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D6",
 		Title:   "live-process intrusion by recovery style (single failure, n=8)",
@@ -114,9 +127,12 @@ func D6(seed int64) Table {
 		},
 	}
 	for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking, recovery.Manetho} {
-		spec := paperSpec(style, seed)
+		spec := PaperSpec(style, seed)
 		spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 3}}
-		r := MustRun(spec)
+		r := MustRun(ctx, spec)
+		if ctx.Err() != nil {
+			return t
+		}
 		mean, max := r.LiveBlocked()
 		var writes int64
 		for i := 0; i < spec.N; i++ {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,7 +14,7 @@ import (
 // D1 sweeps the cluster size: the blocking algorithm's intrusion is paid by
 // every live process, so its aggregate cost grows with n while the new
 // algorithm stays at zero.
-func D1(seed int64) Table {
+func D1(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D1",
 		Title:   "scale sweep: single failure, f=2, n ∈ {4,8,16,32}",
@@ -21,11 +22,14 @@ func D1(seed int64) Table {
 	}
 	for _, n := range []int{4, 8, 16, 32} {
 		for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking} {
-			spec := paperSpec(style, seed)
+			spec := PaperSpec(style, seed)
 			spec.N = n
 			spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 1}}
 			spec.Horizon = 20 * time.Second
-			r := MustRun(spec)
+			r := MustRun(ctx, spec)
+			if ctx.Err() != nil {
+				return t
+			}
 			mean, _ := r.LiveBlocked()
 			t.AddRow(n, style.String(), r.Victim(1).Total(), mean,
 				time.Duration(int64(mean)*int64(n-1)))
@@ -37,7 +41,7 @@ func D1(seed int64) Table {
 // D2 is the paper's central argument made quantitative: as the stable-
 // storage penalty grows relative to communication, the blocking styles'
 // intrusion grows with it while the new algorithm stays flat.
-func D2(seed int64) Table {
+func D2(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D2",
 		Title:   "stable-storage latency sweep (×1..×16 of the 1995 disk), n=8, f=2",
@@ -52,7 +56,7 @@ func D2(seed int64) Table {
 	}
 	for _, scale := range []float64{1, 4, 16} {
 		for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking, recovery.Manetho} {
-			spec := paperSpec(style, seed)
+			spec := PaperSpec(style, seed)
 			spec.HW.Disk = spec.HW.Disk.Scale(scale)
 			// The overlapping-failure scenario: the gather stalls on the
 			// second victim's detection+restore, which scales with the disk.
@@ -63,7 +67,10 @@ func D2(seed int64) Table {
 			// The x16 disk stretches restores to ~9 s each; leave room for
 			// both recoveries to complete.
 			spec.Horizon = 90 * time.Second
-			r := MustRun(spec)
+			r := MustRun(ctx, spec)
+			if ctx.Err() != nil {
+				return t
+			}
 			mean, _ := r.LiveBlocked()
 			t.AddRow(fmt.Sprintf("x%.0f", scale), style.String(), r.Victim(3).Total(), mean)
 		}
@@ -74,7 +81,7 @@ func D2(seed int64) Table {
 // D3 counts the communication the paper argues is now cheap: recovery
 // control messages by kind and size, per algorithm and cluster size. The
 // new algorithm pays more messages — that is its stated price (§3.1).
-func D3(seed int64) Table {
+func D3(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D3",
 		Title:   "recovery communication: control messages per recovery",
@@ -82,11 +89,14 @@ func D3(seed int64) Table {
 	}
 	for _, n := range []int{4, 8, 16} {
 		for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking} {
-			spec := paperSpec(style, seed)
+			spec := PaperSpec(style, seed)
 			spec.N = n
 			spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 1}}
 			spec.Horizon = 20 * time.Second
-			r := MustRun(spec)
+			r := MustRun(ctx, spec)
+			if ctx.Err() != nil {
+				return t
+			}
 			msgs, bytes := r.RecoveryTraffic()
 			t.AddRow(n, style.String(), msgs, bytes, float64(msgs)/float64(n))
 		}
@@ -97,7 +107,7 @@ func D3(seed int64) Table {
 // D4 measures the failure-free cost of the protocol family as f varies:
 // "applications pay only the overhead that corresponds to the number of
 // failures they are willing to tolerate" (paper §2).
-func D4(seed int64) Table {
+func D4(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D4",
 		Title:   "failure-free overhead vs f (n=8, no crashes, 20s of gossip)",
@@ -107,10 +117,13 @@ func D4(seed int64) Table {
 		},
 	}
 	for _, f := range []int{1, 2, 4, 8} {
-		spec := paperSpec(recovery.NonBlocking, seed)
+		spec := PaperSpec(recovery.NonBlocking, seed)
 		spec.F = f
 		spec.Horizon = 20 * time.Second
-		r := MustRun(spec)
+		r := MustRun(ctx, spec)
+		if ctx.Err() != nil {
+			return t
+		}
 		var appMsgs, dets, bytes, toStorage, delivered int64
 		for i := 0; i < spec.N; i++ {
 			m := r.C.Metrics(ids.ProcID(i))
@@ -131,7 +144,7 @@ func D4(seed int64) Table {
 // D7 sweeps link latency from LAN to WAN: with expensive communication the
 // new algorithm's extra round trips start to show — the regime the old
 // message-complexity yardstick was built for (§1).
-func D7(seed int64) Table {
+func D7(ctx context.Context, seed int64) Table {
 	t := Table{
 		ID:      "D7",
 		Title:   "network latency sweep (single failure, n=8, f=2)",
@@ -144,11 +157,14 @@ func D7(seed int64) Table {
 	}
 	for _, lat := range []time.Duration{400 * time.Microsecond, 5 * time.Millisecond, 50 * time.Millisecond} {
 		for _, style := range []recovery.Style{recovery.NonBlocking, recovery.Blocking} {
-			spec := paperSpec(style, seed)
+			spec := PaperSpec(style, seed)
 			spec.HW.Net.Latency = lat
 			spec.Crashes = failure.Plan{{At: 10 * time.Second, Proc: 3}}
 			spec.Horizon = 30 * time.Second
-			r := MustRun(spec)
+			r := MustRun(ctx, spec)
+			if ctx.Err() != nil {
+				return t
+			}
 			b := BreakdownOf(r.Victim(3))
 			mean, _ := r.LiveBlocked()
 			t.AddRow(lat.String(), style.String(), b.Total, b.Gather, mean)
@@ -157,11 +173,17 @@ func D7(seed int64) Table {
 	return t
 }
 
-// All runs every experiment in index order.
-func All(seed int64) []Table {
-	return []Table{
-		E1(seed), E2(seed),
-		D1(seed), D2(seed), D3(seed), D4(seed), D5(seed), D6(seed), D7(seed),
-		D8(seed), D9(seed), D10(seed),
+// All runs every experiment in index order, stopping early (with the
+// tables produced so far) when ctx is done.
+func All(ctx context.Context, seed int64) []Table {
+	var out []Table
+	for _, run := range []func(context.Context, int64) Table{
+		E1, E2, D1, D2, D3, D4, D5, D6, D7, D8, D9, D10,
+	} {
+		if ctx.Err() != nil {
+			break
+		}
+		out = append(out, run(ctx, seed))
 	}
+	return out
 }

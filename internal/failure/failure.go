@@ -1,12 +1,3 @@
-// Package failure provides the timeout-based failure detector the recovery
-// algorithm consumes, and crash-injection plans for experiments.
-//
-// Detection works the way the paper describes production systems of its era
-// working (§2.2): peers exchange periodic heartbeats, and "a typical
-// implementation would require several seconds of timeouts and retrials to
-// detect that process q has indeed failed". The detector is deliberately
-// simple — time since last traffic — because its *latency*, not its
-// sophistication, is what dominates the recovery numbers.
 package failure
 
 import (

@@ -1,0 +1,8 @@
+// Package ids defines the identifier types shared by every layer of the
+// rollback-recovery stack: process identifiers, incarnation numbers, and the
+// send/receive sequence numbers that name messages and determinants.
+//
+// The types live in their own small package so that the wire codec, the
+// determinant log, the protocol engine, and the runtimes can all agree on
+// them without import cycles.
+package ids

@@ -1,0 +1,8 @@
+// Package netmodel models the interconnect: per-pair FIFO links with
+// propagation latency, optional jitter, bandwidth serialization, and
+// partition/drop injection.
+//
+// The model is runtime-agnostic: given "a frame of s bytes leaves a for b
+// now", it answers "when does it arrive, if at all", tracking per-link
+// queueing so back-to-back large frames serialize realistically.
+package netmodel

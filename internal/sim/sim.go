@@ -10,6 +10,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -181,9 +182,32 @@ func (k *Kernel) schedule(at int64, fn func()) {
 // the clock then reads exactly `until`. It returns the number of events
 // processed by this call.
 func (k *Kernel) Run(until time.Duration) int64 {
+	n, _ := k.RunContext(context.Background(), until)
+	return n
+}
+
+// cancelCheckEvery is how many events the kernel processes between context
+// checks. Cancellation is a wall-clock concern; checking it per batch keeps
+// the virtual-time hot loop free of atomic loads while still bounding the
+// latency of a Ctrl-C or deadline to a few thousand events.
+const cancelCheckEvery = 4096
+
+// RunContext is Run with cooperative cancellation: it stops early (without
+// disturbing the event queue) when ctx is done and returns ctx's error.
+// A cancelled run leaves the kernel in a consistent but incomplete state;
+// resuming with a later RunContext call continues deterministically, so
+// cancellation never changes the event sequence of the events that do run.
+func (k *Kernel) RunContext(ctx context.Context, until time.Duration) (int64, error) {
 	limit := int64(until)
 	var processed int64
 	for len(k.events) > 0 {
+		if processed%cancelCheckEvery == 0 {
+			select {
+			case <-ctx.Done():
+				return processed, ctx.Err()
+			default:
+			}
+		}
 		next := k.events[0]
 		if next.at > limit {
 			break
@@ -203,7 +227,7 @@ func (k *Kernel) Run(until time.Duration) int64 {
 	if limit > k.now {
 		k.now = limit
 	}
-	return processed
+	return processed, nil
 }
 
 // Crash kills node id immediately: the process image, its timers, and its
@@ -276,10 +300,10 @@ type nodeState struct {
 
 var _ node.Env = (*nodeState)(nil)
 
-func (ns *nodeState) ID() ids.ProcID        { return ns.id }
-func (ns *nodeState) N() int                { return ns.k.nApp }
-func (ns *nodeState) Now() int64            { return ns.k.now }
-func (ns *nodeState) Rand() *rand.Rand      { return ns.rng }
+func (ns *nodeState) ID() ids.ProcID         { return ns.id }
+func (ns *nodeState) N() int                 { return ns.k.nApp }
+func (ns *nodeState) Now() int64             { return ns.k.now }
+func (ns *nodeState) Rand() *rand.Rand       { return ns.rng }
 func (ns *nodeState) Metrics() *metrics.Proc { return ns.met }
 func (ns *nodeState) Tracer() trace.Tracer   { return ns.k.tr }
 

@@ -1,0 +1,6 @@
+// Package vclock implements the logical-time machinery the recovery
+// algorithm relies on: Lamport clocks (used to generate the system-wide
+// monotonic recovery ordinal of §3.2) and incarnation vectors (used by live
+// processes to reject stale messages that originate from a failed
+// incarnation of their sender).
+package vclock

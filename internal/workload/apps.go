@@ -150,6 +150,14 @@ func NewRandomPeer(seeds, ttl, payloadPad int, workPerMsg int64) Factory {
 	}
 }
 
+// Reseed folds the run-level seed into the gossip PRNG so different
+// simulation seeds explore different communication patterns (Seeder
+// contract: called before Start, so the mixed state is checkpointed like
+// any other app state and replay regenerates identical choices).
+func (g *RandomPeer) Reseed(runSeed int64) {
+	g.rng = PRNG{s: Mix64(uint64(runSeed), g.rng.State())}
+}
+
 func (g *RandomPeer) pick() ids.ProcID {
 	p := g.rng.Intn(g.n - 1)
 	if p >= int(g.self) {

@@ -55,6 +55,33 @@ type App interface {
 // Factory builds the App for one process.
 type Factory func(self ids.ProcID, n int) App
 
+// Seeder is implemented by workloads whose random choices should vary with
+// the run-level simulation seed. A harness calls Reseed immediately after
+// the factory builds the app — before Start and before any Restore — so
+// the mixed seed becomes part of the app's initial checkpointable state
+// and replay fidelity is unaffected. Workloads that ignore the run seed
+// (token ring, client–server, Figure 1) simply don't implement it.
+type Seeder interface {
+	Reseed(runSeed int64)
+}
+
+// Seeded wraps a factory so every app it builds is reseeded with runSeed
+// (when the workload supports it). Harnesses apply this once at cluster
+// construction; the wrapped factory is then used for every (re)build of a
+// process image, so restarts see the same stream.
+func Seeded(f Factory, runSeed int64) Factory {
+	if f == nil {
+		return nil
+	}
+	return func(self ids.ProcID, n int) App {
+		a := f(self, n)
+		if s, ok := a.(Seeder); ok {
+			s.Reseed(runSeed)
+		}
+		return a
+	}
+}
+
 // PRNG is a tiny serializable xorshift64* generator. Apps must use it (not
 // math/rand, whose state cannot be checkpointed) for any randomness.
 type PRNG struct {

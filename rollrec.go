@@ -41,6 +41,7 @@
 package rollrec
 
 import (
+	"context"
 	"time"
 
 	"rollrec/internal/cluster"
@@ -144,7 +145,9 @@ type RecoveryTrace = metrics.RecoveryTrace
 type Table = experiments.Table
 
 // Experiment entry points: each regenerates one table/figure of the
-// paper's evaluation (see DESIGN.md §3 for the index).
+// paper's evaluation (see DESIGN.md §3 for the index). Every entry point
+// takes a context; cancelling it stops the simulation at the next event
+// batch and returns the rows completed so far.
 var (
 	E1  = experiments.E1  // single failure (paper §5, first experiment)
 	E2  = experiments.E2  // overlapping failures (paper §5, second experiment)
@@ -160,8 +163,9 @@ var (
 	D10 = experiments.D10 // orphans: FBL vs optimistic logging
 )
 
-// AllExperiments runs the full evaluation suite.
-func AllExperiments(seed int64) []Table { return experiments.All(seed) }
+// AllExperiments runs the full evaluation suite, stopping early when ctx
+// is done.
+func AllExperiments(ctx context.Context, seed int64) []Table { return experiments.All(ctx, seed) }
 
 // LiveNet is the goroutine-per-process runtime; LiveConfig configures it.
 type (
