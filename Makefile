@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-seed bench-micro check
+.PHONY: all build test vet lint fmt race bench bench-seed bench-micro bench-kernel check
 
 all: build test
 
@@ -21,6 +21,13 @@ vet:
 # examples/.
 lint:
 	$(GO) run ./cmd/rollvet ./...
+
+# fmt checks gofmt cleanliness. internal/analysis/testdata is excluded on
+# purpose: its fixtures carry deliberately unidiomatic formatting that the
+# analyzer's // want annotations depend on (see ROADMAP).
+fmt:
+	@out=$$(gofmt -l . | grep -v '^internal/analysis/testdata/' || true); \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # The livenet runtime records trace events from many goroutines; the race
 # target exercises every package under the race detector.
@@ -45,4 +52,9 @@ bench-seed:
 bench-micro:
 	$(GO) test -bench=. -benchmem ./internal/trace/
 
-check: vet lint test race bench
+# bench-kernel runs the sim-kernel scheduler microbenchmarks against the
+# in-test container/heap baseline, plus the AllocsPerRun regression gates.
+bench-kernel:
+	$(GO) test ./internal/sim -run 'Allocs' -bench 'BenchmarkKernel|BenchmarkContainerHeap' -benchmem
+
+check: vet lint fmt test race bench

@@ -49,11 +49,12 @@ func runSweep(args []string) int {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	label := fs.String("label", "main", "snapshot label; output defaults to BENCH_<label>.json")
 	out := fs.String("out", "", "output path (default BENCH_<label>.json)")
-	seeds := fs.String("seeds", "1", "comma-separated seed axis")
-	ns := fs.String("n", "4,8", "comma-separated cluster-size axis")
-	fails := fs.String("f", "1", "comma-separated failure-count axis (crashes injected; tolerance f = max(1, value))")
-	profiles := fs.String("profiles", "1995", "comma-separated hardware profiles (1995, modern)")
-	styles := fs.String("styles", "nonblocking,blocking", "comma-separated recovery styles (nonblocking, blocking, manetho)")
+	def := bench.DefaultAxes()
+	seeds := fs.String("seeds", joinInt64s(def.Seeds), "comma-separated seed axis")
+	ns := fs.String("n", joinInts(def.N), "comma-separated cluster-size axis")
+	fails := fs.String("f", joinInts(def.Failures), "comma-separated failure-count axis (crashes injected; tolerance f = max(1, value))")
+	profiles := fs.String("profiles", strings.Join(def.Profiles, ","), "comma-separated hardware profiles (1995, modern)")
+	styles := fs.String("styles", strings.Join(def.Styles, ","), "comma-separated recovery styles (nonblocking, blocking, manetho)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	fs.Parse(args)
@@ -226,6 +227,22 @@ func parseInts(list, name string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func joinInt64s(xs []int64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatInt(x, 10)
+	}
+	return strings.Join(parts, ",")
 }
 
 func splitList(s string) []string {

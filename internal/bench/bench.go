@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"rollrec/internal/cluster"
 	"rollrec/internal/experiments"
 	"rollrec/internal/failure"
 	"rollrec/internal/ids"
@@ -93,6 +94,23 @@ func (p Params) Key() string {
 }
 
 // normalize sorts and deduplicates one axis in place.
+// DefaultAxes is the sweep the bench CLI runs when no axes are given: the
+// paper's cluster-size range on both hardware profiles across all three
+// recovery styles, with enough injected failures to exercise overlapping
+// recoveries. Before the flat-heap scheduler this grid was too expensive
+// to be a default; now it is the recommended starting snapshot. The
+// Makefile's bench-seed axes stay narrower on purpose — the committed
+// BENCH_seed.json is a regression gate, not a survey.
+func DefaultAxes() Axes {
+	return Axes{
+		Seeds:    []int64{1},
+		N:        []int{4, 8, 16, 32},
+		Failures: []int{1, 2},
+		Profiles: []string{"1995", "modern"},
+		Styles:   []string{"nonblocking", "blocking", "manetho"},
+	}
+}
+
 func normalize[T int | int64 | string](xs []T) []T {
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 	out := xs[:0]
@@ -128,8 +146,8 @@ func (a Axes) Cells() ([]Params, error) {
 		}
 	}
 	for _, n := range a.N {
-		if n < 2 || n > 64 {
-			return nil, fmt.Errorf("bench: cluster size n=%d out of range [2,64]", n)
+		if n < 2 || n > cluster.MaxProcs {
+			return nil, fmt.Errorf("bench: cluster size n=%d out of range [2,%d]", n, cluster.MaxProcs)
 		}
 	}
 	for _, f := range a.Failures {
@@ -181,8 +199,8 @@ func SpecFor(p Params) (experiments.Spec, error) {
 	if err != nil {
 		return experiments.Spec{}, err
 	}
-	if p.N < 2 || p.N > 64 {
-		return experiments.Spec{}, fmt.Errorf("bench: cluster size n=%d out of range [2,64]", p.N)
+	if p.N < 2 || p.N > cluster.MaxProcs {
+		return experiments.Spec{}, fmt.Errorf("bench: cluster size n=%d out of range [2,%d]", p.N, cluster.MaxProcs)
 	}
 	if p.Failures < 0 || p.Failures >= p.N {
 		return experiments.Spec{}, fmt.Errorf("bench: failure count %d out of range [0,n) for n=%d", p.Failures, p.N)

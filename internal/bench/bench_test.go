@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rollrec/internal/cluster"
 )
 
 // -update regenerates testdata/BENCH_golden.json from the current tree:
@@ -49,7 +51,7 @@ func TestAxesValidation(t *testing.T) {
 	bad := []func(*Axes){
 		func(a *Axes) { a.Seeds = nil },
 		func(a *Axes) { a.N = []int{1} },
-		func(a *Axes) { a.N = []int{65} },
+		func(a *Axes) { a.N = []int{cluster.MaxProcs + 1} },
 		func(a *Axes) { a.Failures = []int{-1} },
 		func(a *Axes) { a.Failures = []int{4} }, // f >= n
 		func(a *Axes) { a.Profiles = []string{"2095"} },

@@ -46,9 +46,12 @@ type Config struct {
 	Tracer trace.Tracer
 }
 
-// maxProcs bounds the cluster size (holder sets are single-word in the hot
-// path; see DESIGN.md).
-const maxProcs = 64
+// MaxProcs bounds the cluster size. Holder sets, the wire codec, and the
+// determinant tables are all width-agnostic (multi-word bitsets, length-
+// prefixed arrays), so this is a sanity cap on sweep cost rather than a
+// structural limit; the flat-heap scheduler keeps n in the hundreds
+// tractable (see DESIGN.md §2, §5).
+const MaxProcs = 256
 
 type sendInfo struct {
 	to   ids.ProcID
@@ -76,8 +79,8 @@ type Cluster struct {
 
 // New builds and boots a cluster.
 func New(cfg Config) *Cluster {
-	if cfg.N < 2 || cfg.N > maxProcs {
-		panic(fmt.Sprintf("cluster: n=%d out of range [2,%d]", cfg.N, maxProcs))
+	if cfg.N < 2 || cfg.N > MaxProcs {
+		panic(fmt.Sprintf("cluster: n=%d out of range [2,%d]", cfg.N, MaxProcs))
 	}
 	if cfg.F < 1 {
 		cfg.F = 1

@@ -107,6 +107,51 @@ func TestSingleFailureRecovery(t *testing.T) {
 	}
 }
 
+// TestLargeClusterBeyondOldCap runs a 96-process cluster — beyond the 64
+// the kernel was capped at before the flat-heap scheduler — through a
+// crash and recovery, and checks the recovered execution reproduces the
+// failure-free digests. Holder bitsets, the wire codec, and the
+// determinant tables are all width-agnostic; this pins that no hidden
+// 64-bit assumption crept back in.
+func TestLargeClusterBeyondOldCap(t *testing.T) {
+	const n = 96
+	large := func(seed int64) Config {
+		cfg := ringConfig(recovery.NonBlocking, seed)
+		cfg.N = n
+		cfg.F = 1
+		// The fastHW 1995-style CPU cost (1 ms per delivery) cannot sustain
+		// full-mesh heartbeats at n=96 — 95 heartbeats per period would cost
+		// more CPU than the period — so the large cluster runs on modern
+		// per-message costs and a slower heartbeat.
+		cfg.HW.CPUMsgCost = 5 * time.Microsecond
+		cfg.HW.CPUByteCost = 0
+		cfg.HW.HeartbeatEvery = 250 * time.Millisecond
+		cfg.HW.SuspectAfter = time.Second
+		return cfg
+	}
+	golden := New(large(5))
+	if !golden.RunUntilDone(time.Second, 120*time.Second) {
+		t.Fatal("failure-free large ring did not complete")
+	}
+	mustCheck(t, golden)
+
+	c := New(large(5))
+	c.Crash(2*time.Second, 17)
+	if !c.RunUntilDone(time.Second, 240*time.Second) {
+		t.Fatal("large ring did not complete after crash")
+	}
+	mustCheck(t, c)
+	want, got := golden.Digests(), c.Digests()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("process %d digest %#x, want golden %#x", i, got[i], want[i])
+		}
+	}
+	if tr := c.Metrics(17).CurrentRecovery(); tr == nil || tr.Total() == 0 {
+		t.Fatal("no completed recovery trace for the victim")
+	}
+}
+
 func TestBlockingStyleBlocksLives(t *testing.T) {
 	c := New(ringConfig(recovery.Blocking, 13))
 	c.Crash(2*time.Second, 1)

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"rollrec/internal/failure"
+	"rollrec/internal/node"
+	"rollrec/internal/recovery"
+	"rollrec/internal/trace"
+	"rollrec/internal/workload"
+)
+
+// goldenTraceHash pins the full event schedule of the seeded two-failure
+// reference run below. It is an FNV-1a fold over every structured trace
+// event (virtual time, arrival order, process, event name, tags) the run
+// emits — sends, receives, storage accesses, crash/restart lifecycle, and
+// recovery-phase spans — so ANY reordering, insertion, or removal of a
+// scheduled event changes it. Scheduler optimizations must keep this hash
+// fixed: the kernel's event *sequence* is part of the repo's compatibility
+// contract (DESIGN.md §2, §9).
+//
+// Regenerate (only after an intended behavior change) with:
+//
+//	go test ./internal/cluster -run TestGoldenTraceHash -v
+//
+// and copy the printed hash here, then re-seed BENCH_seed.json.
+const goldenTraceHash = 0x02bdbeb6cbabb88e
+
+// hashTracer folds every trace callback into an FNV-1a accumulator. Each
+// record mixes a per-callback tag, the global arrival index (the "seq" of
+// the schedule), and the callback's full argument list, so the hash is a
+// fingerprint of the entire deterministic event sequence.
+type hashTracer struct {
+	h    uint64
+	seq  uint64
+	refs uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newHashTracer() *hashTracer { return &hashTracer{h: fnvOffset} }
+
+func (t *hashTracer) mix(vals ...uint64) {
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			t.h ^= v & 0xff
+			t.h *= fnvPrime
+			v >>= 8
+		}
+	}
+}
+
+func (t *hashTracer) mixString(s string) {
+	for i := 0; i < len(s); i++ {
+		t.h ^= uint64(s[i])
+		t.h *= fnvPrime
+	}
+}
+
+func (t *hashTracer) record(kind uint64, ts int64, proc int32, name string, tag trace.Tag) {
+	t.seq++
+	t.mix(kind, t.seq, uint64(ts), uint64(uint32(proc)))
+	t.mixString(name)
+	t.mix(uint64(tag.Kind), uint64(tag.Inc), uint64(tag.Arg))
+}
+
+func (t *hashTracer) Enabled() bool { return true }
+
+func (t *hashTracer) Instant(ts int64, proc int32, name string, tag trace.Tag) {
+	t.record(1, ts, proc, name, tag)
+}
+
+func (t *hashTracer) Begin(ts int64, proc int32, name string, tag trace.Tag) trace.SpanRef {
+	t.record(2, ts, proc, name, tag)
+	t.refs++
+	return trace.SpanRef(t.refs)
+}
+
+func (t *hashTracer) End(ref trace.SpanRef, ts int64) {
+	t.seq++
+	t.mix(3, t.seq, uint64(ref), uint64(ts))
+}
+
+func (t *hashTracer) Span(ts, dur int64, proc int32, name string, tag trace.Tag) {
+	t.record(4, ts, proc, name, tag)
+	t.mix(uint64(dur))
+}
+
+// goldenRun is the pinned scenario: four processes on 1995 hardware, an
+// overlapping two-failure schedule (the second crash lands mid-recovery of
+// the first), run to quiescence.
+func goldenRun(tr trace.Tracer) *Cluster {
+	c := New(Config{
+		N:               4,
+		F:               2,
+		Seed:            1,
+		HW:              node.Profile1995(),
+		Style:           recovery.NonBlocking,
+		App:             workload.NewRandomPeer(1, 1_000_000, 256, int64(time.Millisecond)),
+		CheckpointEvery: 4 * time.Second,
+		StatePad:        1 << 20,
+		Tracer:          tr,
+	})
+	c.ApplyPlan(failure.Plan{
+		{At: 6 * time.Second, Proc: 1},
+		{At: 8 * time.Second, Proc: 2},
+	})
+	c.Run(18 * time.Second)
+	return c
+}
+
+// TestGoldenTraceHash is the determinism regression gate for the simulator
+// scheduler: the hashed event trace of the seeded two-failure run must
+// match the committed golden value. CI runs it under -cpu 1,4, proving the
+// schedule is independent of GOMAXPROCS.
+func TestGoldenTraceHash(t *testing.T) {
+	tr := newHashTracer()
+	c := goldenRun(tr)
+	if errs := c.Check(); len(errs) > 0 {
+		t.Fatalf("golden run inconsistent: %v", errs)
+	}
+	t.Logf("trace hash = %#x over %d trace events", tr.h, tr.seq)
+	if tr.h != goldenTraceHash {
+		t.Fatalf("event-trace hash = %#x over %d trace events, want %#x\n"+
+			"the kernel's event sequence changed; if intended, update goldenTraceHash "+
+			"and re-seed BENCH_seed.json (Makefile bench-seed)", tr.h, tr.seq, goldenTraceHash)
+	}
+}
+
+// TestGoldenTraceHashRepeatable guards the guard: two runs in one process
+// must hash identically, so a failure of TestGoldenTraceHash can only mean
+// the schedule changed, never that the hash itself is unstable.
+func TestGoldenTraceHashRepeatable(t *testing.T) {
+	a, b := newHashTracer(), newHashTracer()
+	goldenRun(a)
+	goldenRun(b)
+	if a.h != b.h || a.seq != b.seq {
+		t.Fatalf("same-process runs diverged: %#x/%d vs %#x/%d", a.h, a.seq, b.h, b.seq)
+	}
+}

@@ -85,17 +85,18 @@ func SingleFailure(in Inputs) Prediction {
 	}
 	oneWay := hw.Net.Latency
 	leaderOut := time.Duration(2*lives) * send(ctlFrameBytes) // announces + requests
-	liveTurn := hw.SendCost(ctlFrameBytes) + send(in.DepinfoBytes)
+	liveTurn := hw.RecvCost(ctlFrameBytes) + send(in.DepinfoBytes)
 	if in.Style == recovery.Manetho {
 		liveTurn += hw.Disk.WriteTime(in.DepinfoBytes)
 	}
-	leaderIn := time.Duration(lives) * (hw.SendCost(in.DepinfoBytes) + hw.Net.TransmitTime(in.DepinfoBytes))
+	leaderIn := time.Duration(lives) * (hw.RecvCost(in.DepinfoBytes) + hw.Net.TransmitTime(in.DepinfoBytes))
 	complete := send(ctlFrameBytes)
 	p.Gather = leaderOut + oneWay + liveTurn + oneWay + leaderIn + complete
 
 	// Replay: request retransmissions, then re-execute each delivery
 	// (handling cost on both ends plus the application's work).
-	perMsg := 2*hw.SendCost(in.ReplayMsgBytes) + hw.Net.TransmitTime(in.ReplayMsgBytes) + in.WorkPerMsg
+	perMsg := hw.SendCost(in.ReplayMsgBytes) + hw.RecvCost(in.ReplayMsgBytes) +
+		hw.Net.TransmitTime(in.ReplayMsgBytes) + in.WorkPerMsg
 	p.Replay = time.Duration(lives)*send(ctlFrameBytes) + oneWay +
 		time.Duration(in.ReplayMsgs)*perMsg
 

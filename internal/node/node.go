@@ -92,6 +92,14 @@ type Hardware struct {
 	CPUMsgCost time.Duration
 	// CPUByteCost is the per-byte processing cost (copying, marshaling).
 	CPUByteCost time.Duration
+	// RecvMsgCost / RecvByteCost override the receive-path processing cost.
+	// When both are zero (the default, and both built-in profiles) the
+	// receive path charges the same as the send path — the symmetric-stack
+	// assumption the paper's cost model makes — so RecvCost == SendCost.
+	// Set either to model asymmetric stacks (e.g. checksum offload on
+	// receive).
+	RecvMsgCost  time.Duration
+	RecvByteCost time.Duration
 	// WatchdogDetect is how long after a crash the node's watchdog notices
 	// and initiates a restart ("several seconds of timeouts and retrials",
 	// paper §2.2).
@@ -106,10 +114,20 @@ type Hardware struct {
 	SuspectAfter time.Duration
 }
 
-// SendCost returns the CPU time charged to a process for handling one
-// frame of the given size (applies symmetrically to send and receive).
+// SendCost returns the CPU time charged to a process for sending one
+// frame of the given size.
 func (h Hardware) SendCost(size int) time.Duration {
 	return h.CPUMsgCost + time.Duration(size)*h.CPUByteCost
+}
+
+// RecvCost returns the CPU time charged to a process for delivering one
+// frame of the given size. It defaults to SendCost (symmetric stack)
+// unless RecvMsgCost or RecvByteCost is set.
+func (h Hardware) RecvCost(size int) time.Duration {
+	if h.RecvMsgCost == 0 && h.RecvByteCost == 0 {
+		return h.SendCost(size)
+	}
+	return h.RecvMsgCost + time.Duration(size)*h.RecvByteCost
 }
 
 // Profile1995 models the paper's testbed: DEC 5000/200 workstations

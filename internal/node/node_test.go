@@ -15,6 +15,41 @@ func TestSendCost(t *testing.T) {
 	}
 }
 
+func TestRecvCostDefaultsToSendCost(t *testing.T) {
+	// The symmetric-stack default: with no receive overrides, RecvCost is
+	// exactly SendCost — including both built-in profiles, which is what
+	// keeps every golden number unchanged by the RecvCost split.
+	for _, hw := range []Hardware{
+		{CPUMsgCost: time.Millisecond, CPUByteCost: 100 * time.Nanosecond},
+		Profile1995(),
+		ProfileModern(),
+	} {
+		for _, size := range []int{0, 64, 4096} {
+			if hw.RecvCost(size) != hw.SendCost(size) {
+				t.Fatalf("RecvCost(%d) = %v, want SendCost %v", size, hw.RecvCost(size), hw.SendCost(size))
+			}
+		}
+	}
+}
+
+func TestRecvCostOverride(t *testing.T) {
+	hw := Hardware{
+		CPUMsgCost:   time.Millisecond,
+		CPUByteCost:  100 * time.Nanosecond,
+		RecvMsgCost:  200 * time.Microsecond,
+		RecvByteCost: 10 * time.Nanosecond,
+	}
+	if got := hw.RecvCost(1000); got != 200*time.Microsecond+10*time.Microsecond {
+		t.Fatalf("RecvCost = %v", got)
+	}
+	// Setting either field alone switches the whole receive path to the
+	// override pair.
+	asym := Hardware{CPUMsgCost: time.Millisecond, RecvMsgCost: time.Microsecond}
+	if got := asym.RecvCost(500); got != time.Microsecond {
+		t.Fatalf("partial override RecvCost = %v", got)
+	}
+}
+
 func TestProfilesAreSane(t *testing.T) {
 	old, modern := Profile1995(), ProfileModern()
 	// The technology trend the paper is about: the modern profile's storage

@@ -6,10 +6,21 @@
 // the golden-run consistency checks possible. The kernel owns the clock,
 // the event queue, the network model, and per-node state (stable storage
 // survives crashes; the process image does not).
+//
+// The scheduler is built for throughput: events live in a flat slot arena
+// ([]event) recycled through a free list, ordered by an index-based 4-ary
+// min-heap, so the schedule/deliver hot path is allocation-free in steady
+// state (no per-event heap allocation, no interface boxing — see
+// bench_test.go for the container/heap baseline it replaced). The hottest
+// event kinds (network arrival, deferred delivery, deferred execution) are
+// encoded as typed slot fields instead of closures. Timers support real
+// cancellation: Stop removes the event from the heap and recycles its slot
+// immediately, while the deadline is credited to the processed-event
+// accounting so Run totals — and therefore BENCH snapshot cells — are
+// bit-identical to a scheduler without cancellation.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"io"
@@ -44,47 +55,67 @@ type Config struct {
 
 const defaultMaxEvents = 200_000_000
 
-// event is one scheduled callback; seq breaks ties deterministically.
+// Event kinds. evFunc is the generic closure event (harness callbacks,
+// crash restarts, storage completions); the message hot path uses typed
+// kinds so scheduling a delivery allocates nothing.
+const (
+	// evFunc runs fn.
+	evFunc uint8 = iota
+	// evExec runs ns.exec(epoch, fn): timer fires and deferred callbacks.
+	evExec
+	// evArrive is a frame reaching its destination's network interface
+	// (ns may be nil for frames addressed to an unregistered node).
+	evArrive
+	// evDeliver is a frame whose delivery was deferred because the
+	// receiver was busy; epoch-guarded like exec.
+	evDeliver
+)
+
+// event is one scheduled callback slot; seq breaks ties deterministically.
+// Slots are pooled: while queued, pos is the index in Kernel.heap; while
+// free, nextFree links the free list and gen has been bumped so stale
+// timer handles can detect reuse.
 type event struct {
+	at     int64
+	seq    uint64
+	gen    uint64 // bumped on release; validates simTimer handles
+	epoch  uint64 // owning process incarnation (evExec, evDeliver)
+	ns     *nodeState
+	fn     func()
+	frame  []byte
+	sentAt int64 // virtual send time (evArrive)
+	pos    int32 // heap index while queued
+	next   int32 // free-list link while free
+	kind   uint8
+}
+
+// credit records the deadline of a cancelled event. Cancelled timers are
+// removed from the heap at Stop time (releasing the slot and the callback),
+// but their would-have-popped deadline still counts toward Run's processed
+// totals — so event accounting, MaxEvents, and BENCH sim_events stay
+// bit-identical whether or not a workload cancels timers.
+type credit struct {
 	at  int64
 	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // Kernel is the simulation instance. It is not safe for concurrent use:
 // construct, add nodes, then drive it from a single goroutine.
 type Kernel struct {
-	cfg    Config
-	tr     trace.Tracer
-	now    int64
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
-	net    *netmodel.Network
-	nodes  map[ids.ProcID]*nodeState
-	order  []ids.ProcID // insertion order, for deterministic boot
-	nApp   int
-	count  int64
+	cfg       Config
+	tr        trace.Tracer
+	now       int64
+	seq       uint64
+	slots     []event  // event arena; index = slot id
+	heap      []int32  // 4-ary min-heap of slot ids ordered by (at, seq)
+	free      int32    // free-list head into slots, -1 when empty
+	cancelled []credit // binary min-heap of cancelled deadlines
+	rng       *rand.Rand
+	net       *netmodel.Network
+	nodes     map[ids.ProcID]*nodeState
+	order     []ids.ProcID // insertion order, for deterministic boot
+	nApp      int
+	count     int64
 }
 
 // New returns a kernel with no nodes.
@@ -96,6 +127,7 @@ func New(cfg Config) *Kernel {
 	return &Kernel{
 		cfg:   cfg,
 		tr:    trace.OrNop(cfg.Tracer),
+		free:  -1,
 		rng:   rng,
 		net:   netmodel.New(cfg.HW.Net, rand.New(rand.NewSource(cfg.Seed+1))),
 		nodes: make(map[ids.ProcID]*nodeState),
@@ -140,14 +172,28 @@ func (k *Kernel) Now() int64 { return k.now }
 // Net exposes the network model for partition injection and counters.
 func (k *Kernel) Net() *netmodel.Network { return k.net }
 
-// Metrics returns the accumulator of the given node.
-func (k *Kernel) Metrics(id ids.ProcID) *metrics.Proc { return k.nodes[id].met }
+// node returns the state of id, panicking on unknown ids: asking for the
+// metrics or storage of a node that was never added is a harness bug, and
+// a named panic beats the anonymous nil dereference it used to be.
+func (k *Kernel) node(id ids.ProcID) *nodeState {
+	ns := k.nodes[id]
+	if ns == nil {
+		panic(fmt.Sprintf("sim: unknown node %v (was it registered with AddNode?)", id))
+	}
+	return ns
+}
 
-// Store returns the crash-surviving stable store of the given node.
-func (k *Kernel) Store(id ids.ProcID) *storage.Store { return k.nodes[id].stable }
+// Metrics returns the accumulator of the given node; it panics on unknown
+// ids (use Up/ProcOf for nil-safe liveness queries).
+func (k *Kernel) Metrics(id ids.ProcID) *metrics.Proc { return k.node(id).met }
 
-// ProcOf returns the current process instance of the node (nil while down);
-// tests use it for white-box inspection between Run calls.
+// Store returns the crash-surviving stable store of the given node; it
+// panics on unknown ids (use Up/ProcOf for nil-safe liveness queries).
+func (k *Kernel) Store(id ids.ProcID) *storage.Store { return k.node(id).stable }
+
+// ProcOf returns the current process instance of the node (nil while down
+// or for ids never registered); tests use it for white-box inspection
+// between Run calls.
 func (k *Kernel) ProcOf(id ids.ProcID) node.Process {
 	if ns := k.nodes[id]; ns != nil {
 		return ns.proc
@@ -155,27 +201,244 @@ func (k *Kernel) ProcOf(id ids.ProcID) node.Process {
 	return nil
 }
 
-// Up reports whether the node currently has a live process image.
+// Up reports whether the node currently has a live process image (false
+// for ids never registered).
 func (k *Kernel) Up(id ids.ProcID) bool {
 	ns := k.nodes[id]
 	return ns != nil && ns.up
 }
 
 // At schedules a harness callback at absolute virtual time d from start.
+// Negative times are harness typos and panic; past times (≥ 0 but before
+// the clock) are clamped to "now" by schedule, the single clamp point.
 func (k *Kernel) At(d time.Duration, fn func()) {
-	at := int64(d)
-	if at < k.now {
-		at = k.now
+	if d < 0 {
+		panic(fmt.Sprintf("sim: At(%v): negative schedule time", d))
 	}
-	k.schedule(at, fn)
+	k.schedule(int64(d), fn)
 }
 
-func (k *Kernel) schedule(at int64, fn func()) {
+// ── Slot arena and 4-ary heap ──────────────────────────────────────────
+//
+// The heap orders slot indices by (at, seq); seq is unique, so the order
+// is total and pop order is independent of heap arity or layout — the
+// property the golden trace-hash test pins.
+
+// alloc returns a free slot index, growing the arena only when the free
+// list is empty.
+func (k *Kernel) alloc() int32 {
+	if i := k.free; i >= 0 {
+		k.free = k.slots[i].next
+		return i
+	}
+	k.slots = append(k.slots, event{})
+	return int32(len(k.slots) - 1)
+}
+
+// release recycles a slot: bump gen (invalidating timer handles), drop
+// references so the GC can reclaim callbacks and frames, and push the slot
+// onto the free list.
+func (k *Kernel) release(i int32) {
+	s := &k.slots[i]
+	s.gen++
+	s.ns = nil
+	s.fn = nil
+	s.frame = nil
+	s.pos = -1
+	s.next = k.free
+	k.free = i
+}
+
+// newEvent allocates a slot stamped with the clamped time and the next
+// sequence number. The caller fills the payload and calls push.
+func (k *Kernel) newEvent(at int64) int32 {
 	if at < k.now {
 		at = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, fn: fn})
+	i := k.alloc()
+	s := &k.slots[i]
+	s.at = at
+	s.seq = k.seq
+	return i
+}
+
+func (k *Kernel) less(a, b int32) bool {
+	ea, eb := &k.slots[a], &k.slots[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (k *Kernel) heapSwap(i, j int) {
+	k.heap[i], k.heap[j] = k.heap[j], k.heap[i]
+	k.slots[k.heap[i]].pos = int32(i)
+	k.slots[k.heap[j]].pos = int32(j)
+}
+
+func (k *Kernel) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.less(k.heap[i], k.heap[p]) {
+			return
+		}
+		k.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (k *Kernel) siftDown(i int) {
+	n := len(k.heap)
+	for {
+		best := i
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if k.less(k.heap[c], k.heap[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			return
+		}
+		k.heapSwap(i, best)
+		i = best
+	}
+}
+
+// push enqueues a filled slot.
+func (k *Kernel) push(i int32) {
+	k.slots[i].pos = int32(len(k.heap))
+	k.heap = append(k.heap, i)
+	k.siftUp(len(k.heap) - 1)
+}
+
+// popTop removes the minimum slot index from the heap (the slot itself is
+// released by the caller once its payload has been copied out).
+func (k *Kernel) popTop() {
+	last := len(k.heap) - 1
+	k.heap[0] = k.heap[last]
+	k.slots[k.heap[0]].pos = 0
+	k.heap = k.heap[:last]
+	if last > 0 {
+		k.siftDown(0)
+	}
+}
+
+// remove deletes the heap entry at position pos (timer cancellation).
+func (k *Kernel) remove(pos int32) {
+	last := len(k.heap) - 1
+	if int(pos) != last {
+		k.heap[pos] = k.heap[last]
+		k.slots[k.heap[pos]].pos = pos
+	}
+	k.heap = k.heap[:last]
+	if int(pos) < last {
+		k.siftDown(int(pos))
+		k.siftUp(int(pos))
+	}
+}
+
+// ── Cancelled-deadline credits ─────────────────────────────────────────
+
+// pushCredit records a cancelled event's deadline (binary min-heap by
+// (at, seq)).
+func (k *Kernel) pushCredit(c credit) {
+	k.cancelled = append(k.cancelled, c)
+	i := len(k.cancelled) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !creditLess(k.cancelled[i], k.cancelled[p]) {
+			break
+		}
+		k.cancelled[i], k.cancelled[p] = k.cancelled[p], k.cancelled[i]
+		i = p
+	}
+}
+
+func (k *Kernel) popCredit() {
+	last := len(k.cancelled) - 1
+	k.cancelled[0] = k.cancelled[last]
+	k.cancelled = k.cancelled[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && creditLess(k.cancelled[l], k.cancelled[best]) {
+			best = l
+		}
+		if r < last && creditLess(k.cancelled[r], k.cancelled[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		k.cancelled[i], k.cancelled[best] = k.cancelled[best], k.cancelled[i]
+		i = best
+	}
+}
+
+func creditLess(a, b credit) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// ── Scheduling ─────────────────────────────────────────────────────────
+
+// schedule enqueues a generic callback; past times clamp to "now" (the
+// only clamp point — At and the typed schedulers all funnel through
+// newEvent).
+func (k *Kernel) schedule(at int64, fn func()) {
+	i := k.newEvent(at)
+	s := &k.slots[i]
+	s.kind = evFunc
+	s.fn = fn
+	k.push(i)
+}
+
+// scheduleExec enqueues an epoch-guarded callback on ns (timer fires and
+// busy-deferred callbacks) without allocating a wrapper closure.
+func (k *Kernel) scheduleExec(at int64, ns *nodeState, epoch uint64, fn func()) int32 {
+	i := k.newEvent(at)
+	s := &k.slots[i]
+	s.kind = evExec
+	s.ns = ns
+	s.epoch = epoch
+	s.fn = fn
+	k.push(i)
+	return i
+}
+
+// scheduleArrive enqueues a frame arrival (ns nil for unregistered
+// destinations, preserved so the event count matches the send schedule).
+func (k *Kernel) scheduleArrive(at int64, ns *nodeState, frame []byte, sentAt int64) {
+	i := k.newEvent(at)
+	s := &k.slots[i]
+	s.kind = evArrive
+	s.ns = ns
+	s.frame = frame
+	s.sentAt = sentAt
+	k.push(i)
+}
+
+// scheduleDeliver enqueues a busy-deferred delivery.
+func (k *Kernel) scheduleDeliver(at int64, ns *nodeState, frame []byte, epoch uint64) {
+	i := k.newEvent(at)
+	s := &k.slots[i]
+	s.kind = evDeliver
+	s.ns = ns
+	s.frame = frame
+	s.epoch = epoch
+	k.push(i)
 }
 
 // Run processes events until virtual time `until` (from simulation start);
@@ -200,7 +463,7 @@ const cancelCheckEvery = 4096
 func (k *Kernel) RunContext(ctx context.Context, until time.Duration) (int64, error) {
 	limit := int64(until)
 	var processed int64
-	for len(k.events) > 0 {
+	for len(k.heap) > 0 {
 		if processed%cancelCheckEvery == 0 {
 			select {
 			case <-ctx.Done():
@@ -208,26 +471,60 @@ func (k *Kernel) RunContext(ctx context.Context, until time.Duration) (int64, er
 			default:
 			}
 		}
-		next := k.events[0]
-		if next.at > limit {
+		top := k.heap[0]
+		at, seq := k.slots[top].at, k.slots[top].seq
+		// Credit cancelled deadlines that would have popped before this
+		// event, keeping processed-event totals identical to a scheduler
+		// that leaves cancelled timers queued until their deadline.
+		for len(k.cancelled) > 0 && k.cancelled[0].at <= limit &&
+			creditLess(k.cancelled[0], credit{at: at, seq: seq}) {
+			k.popCredit()
+			processed++
+			k.countEvent()
+		}
+		if at > limit {
 			break
 		}
-		heap.Pop(&k.events)
-		if next.at > k.now {
-			k.now = next.at
+		e := k.slots[top] // copy out: dispatch may grow or recycle the arena
+		k.popTop()
+		k.release(top)
+		if e.at > k.now {
+			k.now = e.at
 		}
-		next.fn()
+		switch e.kind {
+		case evFunc:
+			e.fn()
+		case evExec:
+			e.ns.exec(e.epoch, e.fn)
+		case evArrive:
+			if e.ns != nil {
+				k.frameArrived(e.ns, e.frame, e.sentAt)
+			}
+		case evDeliver:
+			k.deliver(e.ns, e.frame, e.epoch)
+		}
 		processed++
-		k.count++
-		if k.count > k.cfg.MaxEvents {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (runaway schedule?)",
-				k.cfg.MaxEvents, time.Duration(k.now)))
-		}
+		k.countEvent()
+	}
+	// Credit any cancelled deadlines inside the window beyond the last
+	// queued event.
+	for len(k.cancelled) > 0 && k.cancelled[0].at <= limit {
+		k.popCredit()
+		processed++
+		k.countEvent()
 	}
 	if limit > k.now {
 		k.now = limit
 	}
 	return processed, nil
+}
+
+func (k *Kernel) countEvent() {
+	k.count++
+	if k.count > k.cfg.MaxEvents {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (runaway schedule?)",
+			k.cfg.MaxEvents, time.Duration(k.now)))
+	}
 }
 
 // Crash kills node id immediately: the process image, its timers, and its
@@ -341,34 +638,42 @@ func (ns *nodeState) Send(to ids.ProcID, e *wire.Envelope) {
 		return
 	}
 	k := ns.k
-	sentAt := k.now
-	k.schedule(at, func() { k.deliverFrame(to, frame, sentAt) })
+	k.scheduleArrive(at, k.nodes[to], frame, k.now)
 }
 
-// deliverFrame is the network-side arrival of an encoded frame sent at
+// frameArrived is the network-side arrival of an encoded frame sent at
 // virtual time sentAt.
-func (k *Kernel) deliverFrame(to ids.ProcID, frame []byte, sentAt int64) {
-	ns := k.nodes[to]
-	if ns == nil {
-		return
-	}
+func (k *Kernel) frameArrived(ns *nodeState, frame []byte, sentAt int64) {
 	if !ns.up {
 		ns.met.Dropped++
 		return
 	}
 	ns.met.DeliveryHist.Record(time.Duration(k.now - sentAt))
-	ns.exec(ns.epoch, func() {
-		e, err := wire.Decode(frame)
-		if err != nil {
-			panic(fmt.Sprintf("sim: undecodable frame for %v: %v", to, err))
-		}
-		ns.Busy(k.cfg.HW.SendCost(len(frame)))
-		ns.met.Received(uint8(e.Kind), len(frame))
-		k.tracef("%v <- %v %v", to, e.From, e.Kind)
-		k.tr.Instant(k.now, int32(to), trace.EvRecv,
-			trace.Tag{Kind: uint8(e.Kind), Arg: int64(len(frame))})
-		ns.proc.Deliver(e)
-	})
+	k.deliver(ns, frame, ns.epoch)
+}
+
+// deliver decodes and delivers a frame on the process's current epoch,
+// deferring (via a typed, allocation-free event) while the receiver is
+// busy — the same semantics exec gives callbacks, inlined to keep the
+// message hot path free of closures.
+func (k *Kernel) deliver(ns *nodeState, frame []byte, epoch uint64) {
+	if ns.epoch != epoch || !ns.up {
+		return
+	}
+	if ns.busyUntil > k.now {
+		k.scheduleDeliver(ns.busyUntil, ns, frame, epoch)
+		return
+	}
+	e, err := wire.Decode(frame)
+	if err != nil {
+		panic(fmt.Sprintf("sim: undecodable frame for %v: %v", ns.id, err))
+	}
+	ns.Busy(k.cfg.HW.RecvCost(len(frame)))
+	ns.met.Received(uint8(e.Kind), len(frame))
+	k.tracef("%v <- %v %v", ns.id, e.From, e.Kind)
+	k.tr.Instant(k.now, int32(ns.id), trace.EvRecv,
+		trace.Tag{Kind: uint8(e.Kind), Arg: int64(len(frame))})
+	ns.proc.Deliver(e)
 }
 
 // exec runs fn when the process is free, dropping it if the process
@@ -378,27 +683,43 @@ func (ns *nodeState) exec(epoch uint64, fn func()) {
 		return
 	}
 	if ns.busyUntil > ns.k.now {
-		resume := ns.busyUntil
-		ns.k.schedule(resume, func() { ns.exec(epoch, fn) })
+		ns.k.scheduleExec(ns.busyUntil, ns, epoch, fn)
 		return
 	}
 	fn()
 }
 
-type simTimer struct{ stopped bool }
+// simTimer is a cancellable handle onto a queued evExec slot. gen detects
+// slot reuse: once the timer fires (or is stopped), the slot's generation
+// moves on and the handle becomes inert.
+type simTimer struct {
+	k    *Kernel
+	slot int32
+	gen  uint64
+}
 
-func (t *simTimer) Stop() { t.stopped = true }
+// Stop cancels the timer if it has not fired: the event is removed from
+// the heap and its slot recycled immediately (stopped timers hold no queue
+// space), while the deadline is credited to the processed-event totals so
+// event accounting matches a scheduler without cancellation. Safe to call
+// repeatedly and after firing.
+func (t *simTimer) Stop() {
+	s := &t.k.slots[t.slot]
+	if s.gen != t.gen {
+		return // already fired, stopped, or slot recycled
+	}
+	t.k.pushCredit(credit{at: s.at, seq: s.seq})
+	t.k.remove(s.pos)
+	t.k.release(t.slot)
+}
 
 func (ns *nodeState) After(d time.Duration, fn func()) node.Timer {
-	t := &simTimer{}
-	epoch := ns.epoch
-	ns.k.schedule(ns.k.now+int64(d), func() {
-		if t.stopped {
-			return
-		}
-		ns.exec(epoch, fn)
-	})
-	return t
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %v: After(%v): negative timer duration", ns.id, d))
+	}
+	k := ns.k
+	i := k.scheduleExec(k.now+int64(d), ns, ns.epoch, fn)
+	return &simTimer{k: k, slot: i, gen: k.slots[i].gen}
 }
 
 func (ns *nodeState) ReadStable(key string, cb func(data []byte, ok bool)) {
@@ -407,10 +728,7 @@ func (ns *nodeState) ReadStable(key string, cb func(data []byte, ok bool)) {
 	ns.met.StorageOp(false, len(data), dur)
 	ns.k.tr.Span(ns.k.now, int64(dur), int32(ns.id), trace.EvStorageRead,
 		trace.Tag{Arg: int64(len(data))})
-	epoch := ns.epoch
-	ns.k.schedule(ns.k.now+int64(dur), func() {
-		ns.exec(epoch, func() { cb(data, ok) })
-	})
+	ns.k.scheduleExec(ns.k.now+int64(dur), ns, ns.epoch, func() { cb(data, ok) })
 }
 
 func (ns *nodeState) WriteStable(key string, data []byte, cb func()) {
