@@ -8,7 +8,7 @@
 //
 //	bench [-label L] [-out FILE] [-seeds 1,2] [-n 4,8] [-f 0,1,2]
 //	      [-profiles 1995,modern] [-styles nonblocking,blocking,manetho]
-//	      [-workers N] [-quiet]
+//	      [-workers N] [-merge-seeds] [-quiet]
 //	bench compare OLD.json NEW.json [-threshold 0.05]
 //	bench table SNAPSHOT.json
 //
@@ -56,6 +56,7 @@ func runSweep(args []string) int {
 	profiles := fs.String("profiles", strings.Join(def.Profiles, ","), "comma-separated hardware profiles (1995, modern)")
 	styles := fs.String("styles", strings.Join(def.Styles, ","), "comma-separated recovery styles (nonblocking, blocking, manetho)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	mergeSeeds := fs.Bool("merge-seeds", false, "aggregate all seeds into one cell per configuration (mean plus min/max spread)")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	fs.Parse(args)
 
@@ -64,6 +65,7 @@ func runSweep(args []string) int {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 2
 	}
+	axes.MergeSeeds = *mergeSeeds
 	path := *out
 	if path == "" {
 		path = "BENCH_" + *label + ".json"

@@ -37,6 +37,7 @@ var registry = []struct {
 	{"D8", "analytical cost model vs simulation", experiments.D8},
 	{"D9", "message logging vs coordinated checkpointing", experiments.D9},
 	{"D10", "orphans: FBL vs optimistic logging", experiments.D10},
+	{"D11", "output-commit latency across styles", experiments.D11},
 }
 
 func main() {

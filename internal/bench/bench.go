@@ -21,6 +21,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"rollrec/internal/cluster"
@@ -66,6 +67,12 @@ func profileOf(name string) (node.Hardware, error) {
 // two snapshots with equal axes are comparable cell-for-cell.
 type Axes struct {
 	Seeds []int64 `json:"seeds"`
+	// MergeSeeds collapses the seed axis: instead of one cell per seed,
+	// each (n, failures, profile, style) combination becomes ONE cell whose
+	// seeds all run (serially, in one worker) and aggregate — pooled
+	// sample distributions, summed totals, and an across-seed min/mean/max
+	// spread. The default axes keep it off so CI snapshots stay tiny.
+	MergeSeeds bool `json:"merge_seeds,omitempty"`
 	// N is the cluster size axis.
 	N []int `json:"n"`
 	// Failures is the failure-count axis: the number of crashes injected
@@ -80,17 +87,38 @@ type Axes struct {
 
 // Params are one cell's coordinates in the grid.
 type Params struct {
-	Seed     int64  `json:"seed"`
-	N        int    `json:"n"`
-	Failures int    `json:"failures"`
-	Profile  string `json:"profile"`
-	Style    string `json:"style"`
+	Seed int64 `json:"seed"`
+	// Seeds is set on merged cells (Axes.MergeSeeds): every seed the cell
+	// aggregates, with Seed mirroring Seeds[0] for v1 readers. Nil on
+	// plain single-seed cells.
+	Seeds    []int64 `json:"seeds,omitempty"`
+	N        int     `json:"n"`
+	Failures int     `json:"failures"`
+	Profile  string  `json:"profile"`
+	Style    string  `json:"style"`
+}
+
+// SeedList returns the seeds the cell covers (at least one).
+func (p Params) SeedList() []int64 {
+	if len(p.Seeds) > 0 {
+		return p.Seeds
+	}
+	return []int64{p.Seed}
+}
+
+// seedLabel renders the seed coordinate: "7" or "1+2+3" for a merged cell.
+func (p Params) seedLabel() string {
+	parts := make([]string, 0, len(p.Seeds)+1)
+	for _, s := range p.SeedList() {
+		parts = append(parts, fmt.Sprintf("%d", s))
+	}
+	return strings.Join(parts, "+")
 }
 
 // Key renders the parameter key the cells are sorted by.
 func (p Params) Key() string {
-	return fmt.Sprintf("seed=%d/n=%d/f=%d/hw=%s/style=%s",
-		p.Seed, p.N, p.Failures, p.Profile, p.Style)
+	return fmt.Sprintf("seed=%s/n=%d/f=%d/hw=%s/style=%s",
+		p.seedLabel(), p.N, p.Failures, p.Profile, p.Style)
 }
 
 // normalize sorts and deduplicates one axis in place.
@@ -160,15 +188,27 @@ func (a Axes) Cells() ([]Params, error) {
 			}
 		}
 	}
+	// Merged sweeps fold the whole seed axis into each cell; the nested
+	// loop below then runs once with a single sentinel "seed group".
+	seedGroups := make([][]int64, 0, len(a.Seeds))
+	if a.MergeSeeds {
+		seedGroups = append(seedGroups, a.Seeds)
+	} else {
+		for _, s := range a.Seeds {
+			seedGroups = append(seedGroups, []int64{s})
+		}
+	}
 	var cells []Params
-	for _, seed := range a.Seeds {
+	for _, group := range seedGroups {
 		for _, n := range a.N {
 			for _, f := range a.Failures {
 				for _, hw := range a.Profiles {
 					for _, style := range a.Styles {
-						cells = append(cells, Params{
-							Seed: seed, N: n, Failures: f, Profile: hw, Style: style,
-						})
+						p := Params{Seed: group[0], N: n, Failures: f, Profile: hw, Style: style}
+						if a.MergeSeeds && len(group) > 1 {
+							p.Seeds = group
+						}
+						cells = append(cells, p)
 					}
 				}
 			}

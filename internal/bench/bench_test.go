@@ -200,8 +200,91 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	if _, err := Decode(strings.NewReader("{")); err == nil {
 		t.Fatal("truncated JSON accepted")
 	}
-	if _, err := Decode(strings.NewReader(`{"meta":{"schema":99}}`)); err == nil {
-		t.Fatal("wrong schema version accepted")
+	if _, err := Decode(strings.NewReader(`{"meta":{"schema":0}}`)); err == nil {
+		t.Fatal("schema 0 accepted")
+	}
+	_, err := Decode(strings.NewReader(`{"meta":{"schema":99}}`))
+	if err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	if !strings.Contains(err.Error(), "newer than") {
+		t.Fatalf("future-schema error %q does not say the file is newer", err)
+	}
+}
+
+// TestV1SeedSnapshotUpgrades feeds the decoder real committed schema-v1
+// bytes (the pre-v2 BENCH_seed.json): they must upgrade in place, and a
+// fresh sweep over the same axes must still agree metric-for-metric at
+// threshold 0 — the schema bump may not move any measured number.
+func TestV1SeedSnapshotUpgrades(t *testing.T) {
+	v1, err := ReadFile(filepath.Join("testdata", "BENCH_seed_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Meta.Schema != SchemaVersion {
+		t.Fatalf("decoded schema %d, want upgraded to %d", v1.Meta.Schema, SchemaVersion)
+	}
+	fresh, err := RunSweep(context.Background(), v1.Axes, Options{Workers: 4, Meta: goldenMeta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs, _ := Compare(v1, fresh, 0); len(regs) != 0 {
+		t.Fatalf("v1 snapshot vs fresh v2 sweep regressed: %v", regs)
+	}
+	if regs, _ := Compare(fresh, v1, 0); len(regs) != 0 {
+		t.Fatalf("fresh v2 sweep vs v1 snapshot regressed: %v", regs)
+	}
+}
+
+// TestMergedSeedsSweep checks the multi-seed aggregation: one cell per
+// configuration covering the whole seed axis, byte-deterministic for any
+// worker count, carrying the across-seed spread.
+func TestMergedSeedsSweep(t *testing.T) {
+	axes := goldenAxes()
+	axes.MergeSeeds = true
+	ctx := context.Background()
+	serial, err := RunSweep(ctx, axes, Options{Workers: 1, Meta: goldenMeta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := RunSweep(ctx, axes, Options{Workers: 4, Meta: goldenMeta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(t, serial), encode(t, pooled)) {
+		t.Fatal("merged-seed snapshot differs between 1-worker and 4-worker runs")
+	}
+	if len(serial.Cells) != 2 { // styles only; the seed axis is folded
+		t.Fatalf("got %d cells, want 2", len(serial.Cells))
+	}
+	c := serial.Cells[0]
+	if c.Key != "seed=1+2/n=4/f=1/hw=1995/style=blocking" {
+		t.Fatalf("merged key %q", c.Key)
+	}
+	if c.Recoveries != 2 { // one crash per seed
+		t.Fatalf("merged cell has %d recoveries, want 2", c.Recoveries)
+	}
+	if c.AcrossSeeds == nil {
+		t.Fatal("merged cell lacks across_seeds")
+	}
+	sp := c.AcrossSeeds.RecoveryMeanMS
+	if !(sp.Min <= sp.Mean && sp.Mean <= sp.Max) || sp.Max == 0 {
+		t.Fatalf("across-seed recovery spread inconsistent: %+v", sp)
+	}
+	// The pooled distribution must match re-aggregating the two single-seed
+	// cells of the plain sweep.
+	single, err := RunSweep(ctx, goldenAxes(), Options{Workers: 2, Meta: goldenMeta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs int64
+	for _, sc := range single.Cells {
+		if sc.Params.Style == "blocking" {
+			msgs += sc.CtlMsgs
+		}
+	}
+	if c.CtlMsgs != msgs {
+		t.Fatalf("merged ctl_msgs %d != sum of single-seed cells %d", c.CtlMsgs, msgs)
 	}
 }
 

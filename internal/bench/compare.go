@@ -44,6 +44,8 @@ func metricsOf(c Cell) []struct {
 		{"ctl_msgs", float64(c.CtlMsgs)},
 		{"ctl_bytes", float64(c.CtlBytes)},
 		{"sim_events", float64(c.SimEvents)},
+		{"output_commit.p50_ms", c.OutputCommit.P50MS},
+		{"output_commit.p99_ms", c.OutputCommit.P99MS},
 		{"errors", float64(c.Errors)},
 	}
 }

@@ -95,47 +95,112 @@ feed:
 	return &Snapshot{Meta: meta, Axes: axes, Cells: out}, nil
 }
 
-// runCell executes one parameter combination and aggregates its metrics.
+// seedRun is the raw readout of one seed's simulation within a cell.
+type seedRun struct {
+	recoveries, blocked, outDeltas []time.Duration
+	ctlMsgs, ctlBytes              int64
+	delivered, simEvents, outputs  int64
+	errors                         int
+}
+
+// runCell executes one parameter combination — every seed it covers,
+// serially, so the pool's nondeterministic scheduling can never reorder
+// the aggregation — and reduces the readouts to a Cell.
 func runCell(ctx context.Context, p Params) (Cell, error) {
-	spec, err := SpecFor(p)
-	if err != nil {
-		return Cell{}, err
-	}
-	r, err := experiments.Run(ctx, spec)
-	if err != nil {
-		return Cell{}, err
+	seeds := p.SeedList()
+	runs := make([]seedRun, 0, len(seeds))
+	var horizon time.Duration
+	for _, seed := range seeds {
+		sp := p
+		sp.Seed, sp.Seeds = seed, nil
+		spec, err := SpecFor(sp)
+		if err != nil {
+			return Cell{}, err
+		}
+		horizon = spec.Horizon
+		run, err := runOne(ctx, spec)
+		if err != nil {
+			return Cell{}, err
+		}
+		runs = append(runs, run)
 	}
 
+	var all seedRun
+	for _, run := range runs {
+		all.recoveries = append(all.recoveries, run.recoveries...)
+		all.blocked = append(all.blocked, run.blocked...)
+		all.outDeltas = append(all.outDeltas, run.outDeltas...)
+		all.ctlMsgs += run.ctlMsgs
+		all.ctlBytes += run.ctlBytes
+		all.delivered += run.delivered
+		all.simEvents += run.simEvents
+		all.outputs += run.outputs
+		all.errors += run.errors
+	}
+	c := Cell{
+		Key:          p.Key(),
+		Params:       p,
+		Recovery:     distOf(all.recoveries),
+		Recoveries:   len(all.recoveries),
+		Blocked:      distOf(all.blocked),
+		CtlMsgs:      all.ctlMsgs,
+		CtlBytes:     all.ctlBytes,
+		Delivered:    all.delivered,
+		SimEvents:    all.simEvents,
+		SimMS:        ms(horizon),
+		Outputs:      all.outputs,
+		OutputCommit: distOf(all.outDeltas),
+		Errors:       all.errors,
+	}
+	if len(runs) > 1 {
+		per := func(f func(seedRun) float64) MinMeanMax {
+			xs := make([]float64, len(runs))
+			for i, run := range runs {
+				xs[i] = f(run)
+			}
+			return minMeanMax(xs)
+		}
+		c.AcrossSeeds = &SeedSpread{
+			RecoveryMeanMS: per(func(r seedRun) float64 { return distOf(r.recoveries).MeanMS }),
+			BlockedMeanMS:  per(func(r seedRun) float64 { return distOf(r.blocked).MeanMS }),
+			CtlMsgs:        per(func(r seedRun) float64 { return float64(r.ctlMsgs) }),
+			CtlBytes:       per(func(r seedRun) float64 { return float64(r.ctlBytes) }),
+			SimEvents:      per(func(r seedRun) float64 { return float64(r.simEvents) }),
+		}
+	}
+	return c, nil
+}
+
+// runOne executes a single-seed spec and collects its readouts.
+func runOne(ctx context.Context, spec experiments.Spec) (seedRun, error) {
+	r, err := experiments.Run(ctx, spec)
+	if err != nil {
+		return seedRun{}, err
+	}
 	crashed := map[ids.ProcID]bool{}
 	for _, cr := range spec.Crashes {
 		crashed[cr.Proc] = true
 	}
-	var recoveries, blocked []time.Duration
-	var delivered int64
+	var run seedRun
 	for i := 0; i < spec.N; i++ {
 		m := r.C.Metrics(ids.ProcID(i))
-		delivered += m.Delivered
+		run.delivered += m.Delivered
 		for _, tr := range m.Recoveries {
 			if tr.ReplayedAt != 0 {
-				recoveries = append(recoveries, tr.Total())
+				run.recoveries = append(run.recoveries, tr.Total())
 			}
 		}
 		if !crashed[ids.ProcID(i)] {
-			blocked = append(blocked, m.BlockedTotal())
+			run.blocked = append(run.blocked, m.BlockedTotal())
 		}
 	}
-	msgs, bytes := r.RecoveryTraffic()
-	return Cell{
-		Key:        p.Key(),
-		Params:     p,
-		Recovery:   distOf(recoveries),
-		Recoveries: len(recoveries),
-		Blocked:    distOf(blocked),
-		CtlMsgs:    msgs,
-		CtlBytes:   bytes,
-		Delivered:  delivered,
-		SimEvents:  r.Events,
-		SimMS:      ms(spec.Horizon),
-		Errors:     len(r.Errors),
-	}, nil
+	run.ctlMsgs, run.ctlBytes = r.RecoveryTraffic()
+	run.simEvents = r.Events
+	run.errors = len(r.Errors)
+	// The ledger exists even when output tracking is off (it is then
+	// empty); the default sweep keeps tracking off so its cells stay
+	// byte-comparable with schema-v1 history.
+	run.outputs = int64(r.C.Outputs().Total())
+	run.outDeltas = r.C.Outputs().Deltas()
+	return run, nil
 }

@@ -12,9 +12,13 @@ import (
 )
 
 // SchemaVersion identifies the snapshot layout. Bump it on any change to
-// the cell schema or to the meaning of a metric; compare refuses to diff
-// snapshots across schema versions.
-const SchemaVersion = 1
+// the cell schema or to the meaning of a metric. Decode upgrades older
+// snapshots it can read losslessly (v1 cells are v2 cells whose new fields
+// are zero) and refuses snapshots newer than this binary.
+//
+// v2: cells gained output_commit (DESIGN §10) and outputs; merged-seed
+// cells gained params.seeds and across_seeds.
+const SchemaVersion = 2
 
 // Meta describes where a snapshot came from. It is informational only:
 // compare and the golden tests diff axes+cells and ignore Meta, because
@@ -57,7 +61,41 @@ func distOf(ds []time.Duration) Dist {
 	}
 }
 
-// Cell is the measured outcome of one parameter combination.
+// MinMeanMax summarizes one scalar across a merged cell's seeds.
+type MinMeanMax struct {
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func minMeanMax(xs []float64) MinMeanMax {
+	if len(xs) == 0 {
+		return MinMeanMax{}
+	}
+	m := MinMeanMax{Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		m.Min = math.Min(m.Min, x)
+		m.Max = math.Max(m.Max, x)
+	}
+	m.Mean = math.Round(sum/float64(len(xs))*1000) / 1000
+	return m
+}
+
+// SeedSpread is a merged cell's across-seed variation: how the headline
+// per-seed costs spread over the cell's seed list. It answers "is this
+// number a property of the configuration or of one lucky seed?"
+type SeedSpread struct {
+	RecoveryMeanMS MinMeanMax `json:"recovery_mean_ms"`
+	BlockedMeanMS  MinMeanMax `json:"blocked_mean_ms"`
+	CtlMsgs        MinMeanMax `json:"ctl_msgs"`
+	CtlBytes       MinMeanMax `json:"ctl_bytes"`
+	SimEvents      MinMeanMax `json:"sim_events"`
+}
+
+// Cell is the measured outcome of one parameter combination. A merged cell
+// (params.seeds set) pools samples and sums totals over every seed it ran.
 type Cell struct {
 	Key    string `json:"key"`
 	Params Params `json:"params"`
@@ -81,8 +119,16 @@ type Cell struct {
 	SimEvents int64 `json:"sim_events"`
 	// SimMS is the virtual horizon simulated.
 	SimMS float64 `json:"sim_ms"`
+	// Outputs counts externally-visible outputs the workload requested;
+	// OutputCommit aggregates their request-to-release latency (DESIGN
+	// §10). Zero for workloads that never call ctx.Output, like the
+	// default sweep's gossip.
+	Outputs      int64 `json:"outputs"`
+	OutputCommit Dist  `json:"output_commit"`
 	// Errors counts cross-process invariant violations (expected 0).
 	Errors int `json:"errors"`
+	// AcrossSeeds is the per-seed spread; only merged cells carry it.
+	AcrossSeeds *SeedSpread `json:"across_seeds,omitempty"`
 }
 
 // Snapshot is the versioned, machine-readable result of one sweep: what
@@ -118,15 +164,25 @@ func (s *Snapshot) WriteFile(path string) error {
 	return f.Close()
 }
 
-// Decode reads a snapshot and checks its schema version.
+// Decode reads a snapshot, upgrading older schemas it can represent
+// losslessly and rejecting ones newer than this binary.
 func Decode(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("bench: malformed snapshot: %w", err)
 	}
-	if s.Meta.Schema != SchemaVersion {
-		return nil, fmt.Errorf("bench: snapshot schema %d, this binary speaks %d", s.Meta.Schema, SchemaVersion)
+	switch {
+	case s.Meta.Schema < 1:
+		return nil, fmt.Errorf("bench: snapshot schema %d invalid (earliest is 1)", s.Meta.Schema)
+	case s.Meta.Schema > SchemaVersion:
+		return nil, fmt.Errorf("bench: snapshot schema %d is newer than this binary's %d; rebuild or regenerate",
+			s.Meta.Schema, SchemaVersion)
+	case s.Meta.Schema < SchemaVersion:
+		// v1 -> v2: every new field (outputs, output_commit, seeds,
+		// across_seeds) is absent in v1 files and zero-valued here, which
+		// is exactly what a v1-era run measured. Stamp and move on.
+		s.Meta.Schema = SchemaVersion
 	}
 	return &s, nil
 }
@@ -158,8 +214,8 @@ func Markdown(w io.Writer, s *Snapshot) error {
 		return err
 	}
 	for _, c := range s.Cells {
-		if _, err := fmt.Fprintf(w, "| %d | %d | %d | %s | %s | %.3f | %.3f | %.3f | %.3f | %.3f | %d | %d | %d |\n",
-			c.Params.Seed, c.Params.N, c.Params.Failures, c.Params.Profile, c.Params.Style,
+		if _, err := fmt.Fprintf(w, "| %s | %d | %d | %s | %s | %.3f | %.3f | %.3f | %.3f | %.3f | %d | %d | %d |\n",
+			c.Params.seedLabel(), c.Params.N, c.Params.Failures, c.Params.Profile, c.Params.Style,
 			c.Recovery.MeanMS, c.Recovery.P50MS, c.Recovery.P99MS,
 			c.Blocked.MeanMS, c.Blocked.P99MS,
 			c.CtlMsgs, c.CtlBytes, c.SimEvents); err != nil {

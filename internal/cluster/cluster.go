@@ -15,6 +15,7 @@ import (
 	"rollrec/internal/ids"
 	"rollrec/internal/metrics"
 	"rollrec/internal/node"
+	"rollrec/internal/output"
 	"rollrec/internal/recovery"
 	"rollrec/internal/sim"
 	"rollrec/internal/trace"
@@ -44,6 +45,11 @@ type Config struct {
 	// Tracer, if non-nil, records structured events and recovery-phase
 	// spans (see internal/trace). Nil disables structured tracing.
 	Tracer trace.Tracer
+	// TrackOutputs wires the output-commit ledger (DESIGN §10) into every
+	// process. Off by default: tracking also changes the piggyback policy
+	// (holder knowledge travels one hop past the stability threshold), so
+	// runs without externally-visible output keep byte-identical traces.
+	TrackOutputs bool
 }
 
 // MaxProcs bounds the cluster size. Holder sets, the wire codec, and the
@@ -65,8 +71,9 @@ type deliverInfo struct {
 
 // Cluster is a running simulation plus its invariant-checking observers.
 type Cluster struct {
-	cfg Config
-	K   *sim.Kernel
+	cfg  Config
+	K    *sim.Kernel
+	outs *output.Ledger
 
 	// Harness-side timelines (survive crashes; truncated on OnLive).
 	sends      []map[ids.SSN]sendInfo    // per sender: ssn → send record
@@ -101,6 +108,7 @@ func New(cfg Config) *Cluster {
 	}
 
 	c.K = sim.New(sim.Config{Seed: cfg.Seed, HW: cfg.HW, Trace: cfg.Trace, Tracer: cfg.Tracer})
+	c.outs = output.NewLedger(cfg.N)
 	par := fbl.Params{
 		N:               cfg.N,
 		F:               cfg.F,
@@ -115,6 +123,11 @@ func New(cfg Config) *Cluster {
 			OnDeliver: c.onDeliver,
 			OnLive:    c.onLive,
 		},
+	}
+	if cfg.TrackOutputs {
+		c.outs.SetTracer(trace.OrNop(cfg.Tracer))
+		c.outs.SetMetrics(c.K.Metrics)
+		par.Outputs = c.outs
 	}
 	for i := 0; i < cfg.N; i++ {
 		c.K.AddNode(ids.ProcID(i), fbl.New(par))
@@ -222,6 +235,9 @@ func (c *Cluster) Proc(p ids.ProcID) *fbl.Process {
 
 // Metrics returns process p's accumulator.
 func (c *Cluster) Metrics(p ids.ProcID) *metrics.Proc { return c.K.Metrics(p) }
+
+// Outputs returns the cluster-wide output-commit ledger (DESIGN §10).
+func (c *Cluster) Outputs() *output.Ledger { return c.outs }
 
 // App returns the application hosted at p (nil while down).
 func (c *Cluster) App(p ids.ProcID) workload.App {

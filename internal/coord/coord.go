@@ -6,6 +6,7 @@ import (
 
 	"rollrec/internal/ids"
 	"rollrec/internal/node"
+	"rollrec/internal/output"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
 )
@@ -24,6 +25,9 @@ type Params struct {
 	// peer triggers nothing here — the watchdog restart of the crashed
 	// process is what initiates the rollback).
 	HeartbeatEvery time.Duration
+	// Outputs receives the output-commit lifecycle (nil disables tracking;
+	// Ctx.Output is then a no-op).
+	Outputs output.Sink
 	// Hooks observe deliveries for the test harness.
 	Hooks Hooks
 }
@@ -77,6 +81,10 @@ type Process struct {
 	// they would be consumed into the doomed pre-rollback state and lost.
 	rollingBack bool
 	futureBuf   []*wire.Envelope
+
+	// Output commit (DESIGN §10).
+	outSeq      uint64      // outputs requested so far (part of the snapshot)
+	pendingOuts []coordWait // requested, not yet covered by a committed snapshot
 }
 
 type recordedMsg struct {
@@ -192,6 +200,11 @@ func (p *Process) resetVolatile() {
 	p.snapActive = false
 	p.delivered = 0
 	p.sinceSnap = 0
+	// The rolled-back execution's uncommitted outputs are abandoned with
+	// it; the restored outSeq (decoded from the snapshot, 0 from scratch)
+	// is where re-execution resumes requesting.
+	p.outSeq = 0
+	p.pendingOuts = nil
 }
 
 // drainFuture re-delivers frames that arrived for the new epoch while the
@@ -229,6 +242,7 @@ func (p *Process) restoreSnapshot(id uint32) {
 		lost := p.delivered
 		p.resetVolatile()
 		recorded := p.decodeSnapshot(data)
+		p.commitRestored()
 		p.finishRollback(lost)
 		// Re-inject the in-flight messages the snapshot recorded: they are
 		// part of the global state.
@@ -307,6 +321,7 @@ func (p *Process) onRollback(e *wire.Envelope) {
 		}
 		p.resetVolatile()
 		recorded := p.decodeSnapshot(data)
+		p.commitRestored()
 		if p.par.Hooks.OnRollback != nil {
 			p.par.Hooks.OnRollback(p.env.ID(), p.epoch, lost)
 		}

@@ -1,0 +1,67 @@
+package coord
+
+// This file implements the coordinated-checkpointing output-commit rule
+// (DESIGN §10): an output may be released once it is covered by a
+// committed global snapshot — its state is captured by a local snapshot
+// whose id the initiator has committed. The commit latency is therefore
+// bounded below by the snapshot period plus a full Chandy–Lamport round
+// including every process's stable-storage write: the synchronous-stable-
+// write cost the paper's §2.2 charges against coordinated schemes.
+
+// coordWait is one requested output awaiting snapshot coverage.
+type coordWait struct {
+	seq  uint64
+	snap uint32 // local snapshot id whose capture covers it; 0 = none yet
+}
+
+// Output implements workload.Ctx.
+func (c appCtx) Output(payload []byte) {
+	p := c.p
+	if p.par.Outputs == nil {
+		return
+	}
+	p.outSeq++
+	if !p.par.Outputs.Requested(p.env.ID(), p.outSeq, p.env.Now(), payload) {
+		return // rollback re-execution of an already-released output
+	}
+	p.pendingOuts = append(p.pendingOuts, coordWait{seq: p.outSeq})
+}
+
+// coverOutputs tags every uncovered pending output with the local snapshot
+// being captured right now: the state that produced them is in the blob.
+func (p *Process) coverOutputs(snapID uint32) {
+	for i := range p.pendingOuts {
+		if p.pendingOuts[i].snap == 0 {
+			p.pendingOuts[i].snap = snapID
+		}
+	}
+}
+
+// commitOutputs releases every pending output covered by a snapshot at or
+// below the just-committed id. A later snapshot strictly extends an
+// abandoned earlier capture within the same epoch, so coverage by any
+// id <= the committed one suffices.
+func (p *Process) commitOutputs(committed uint32) {
+	if p.par.Outputs == nil || len(p.pendingOuts) == 0 {
+		return
+	}
+	now := p.env.Now()
+	kept := p.pendingOuts[:0]
+	for _, w := range p.pendingOuts {
+		if w.snap != 0 && w.snap <= committed {
+			p.par.Outputs.Committed(p.env.ID(), w.seq, now)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	p.pendingOuts = kept
+}
+
+// commitRestored fires after a rollback restored a committed snapshot:
+// every output the restored state had already produced (seq <= the
+// restored outSeq) is part of the committed recovery line.
+func (p *Process) commitRestored() {
+	if p.par.Outputs != nil && p.outSeq > 0 {
+		p.par.Outputs.CommitUpTo(p.env.ID(), p.outSeq, p.env.Now())
+	}
+}

@@ -34,6 +34,7 @@ func (p *Process) beginLocalSnapshot(id uint32, exclude ids.ProcID) {
 	p.snapActive = true
 	p.snapID = id
 	p.localState = p.encodeLocalState()
+	p.coverOutputs(id)
 	p.recording = make([]bool, p.n)
 	p.recorded = make([][]recordedMsg, p.n)
 	p.openChans = 0
@@ -137,6 +138,7 @@ func (p *Process) commit(id uint32) {
 	p.committedID = id
 	p.sinceSnap = 0
 	p.persistEpoch()
+	p.commitOutputs(id)
 	p.env.Logf("coord: snapshot %d committed", id)
 }
 
@@ -159,6 +161,12 @@ func (p *Process) encodeLocalState() []byte {
 	}
 	w.Bytes(app)
 	w.Bytes(make([]byte, p.par.StatePad))
+	// Optional tail (see the FBL checkpoint codec): present only when the
+	// process ever produced output, so output-free runs keep byte-identical
+	// snapshot blobs and storage timings.
+	if p.outSeq != 0 {
+		w.U64(p.outSeq)
+	}
 	return w.Frame()
 }
 
@@ -196,6 +204,9 @@ func (p *Process) decodeSnapshot(blob []byte) []recordedMsg {
 	}
 	app := state.Bytes()
 	state.Bytes() // padding
+	if !state.Done() {
+		p.outSeq = state.U64() // optional tail: see encodeLocalState
+	}
 	if err := p.app.Restore(app); err != nil {
 		panic(fmt.Sprintf("coord: %v: restoring app: %v", p.env.ID(), err))
 	}

@@ -109,10 +109,10 @@ func (l *Log) mark(id ids.MsgID) { l.journal = append(l.journal, id) }
 // Cursor returns the current journal position for ScanPendingModified.
 func (l *Log) Cursor() int { return l.base + len(l.journal) }
 
-// ScanPendingModified invokes fn with a copy of every non-stable entry
-// modified at or after cursor (deduplicated within the scan) and returns
-// the new cursor.
-func (l *Log) ScanPendingModified(cursor int, fn func(Entry)) int {
+// scanJournal walks the journal from cursor, deduplicating ids within the
+// scan, and invokes visit with each id's current entry (nil when the entry
+// was garbage-collected since it was marked). It returns the new cursor.
+func (l *Log) scanJournal(cursor int, visit func(id ids.MsgID, e *Entry)) int {
 	if cursor < l.base {
 		cursor = l.base
 	}
@@ -126,13 +126,35 @@ func (l *Log) ScanPendingModified(cursor int, fn func(Entry)) int {
 			seen = make(map[ids.MsgID]bool)
 		}
 		seen[id] = true
-		e, ok := l.entries[id]
-		if !ok || l.cfg.Stable(e.Holders) {
-			continue
-		}
-		fn(e.Clone())
+		visit(id, l.entries[id])
 	}
 	return l.Cursor()
+}
+
+// ScanPendingModified invokes fn with a copy of every non-stable entry
+// modified at or after cursor (deduplicated within the scan) and returns
+// the new cursor.
+func (l *Log) ScanPendingModified(cursor int, fn func(Entry)) int {
+	return l.scanJournal(cursor, func(_ ids.MsgID, e *Entry) {
+		if e != nil && !l.cfg.Stable(e.Holders) {
+			fn(e.Clone())
+		}
+	})
+}
+
+// ScanModified is ScanPendingModified without the stability filter: fn
+// also receives entries that crossed the f+1 threshold. The output-commit
+// piggyback path uses it so holder knowledge travels one hop further than
+// replication needs — the process whose delivery an entry records can only
+// release dependent output once IT learns the entry is stable; with the
+// stability-filtered scan that knowledge would arrive only with its next
+// checkpoint (see fbl/send.go).
+func (l *Log) ScanModified(cursor int, fn func(Entry)) int {
+	return l.scanJournal(cursor, func(_ ids.MsgID, e *Entry) {
+		if e != nil {
+			fn(e.Clone())
+		}
+	})
 }
 
 // Compact discards the journal prefix below minCursor, the smallest cursor
@@ -193,6 +215,40 @@ func (l *Log) Lookup(msg ids.MsgID) (Entry, bool) {
 		return e.Clone(), true
 	}
 	return Entry{}, false
+}
+
+// StableOrGone reports whether msg needs no further replication: its
+// determinant is either stable or no longer tracked (garbage-collected,
+// which only happens once its receiver checkpointed past the delivery).
+// Unlike Lookup it allocates nothing, so it is safe on hot paths.
+func (l *Log) StableOrGone(msg ids.MsgID) bool {
+	e, ok := l.entries[msg]
+	return !ok || l.cfg.Stable(e.Holders)
+}
+
+// PendingIDs invokes fn with the id of every non-stable entry, in no
+// particular order: callers must treat the result as a set (the output-
+// commit wait counters do). Unlike Pending it clones and sorts nothing.
+func (l *Log) PendingIDs(fn func(ids.MsgID)) {
+	//rollvet:allow maporder -- callers build order-independent sets/counters from the ids
+	for id, e := range l.entries {
+		if !l.cfg.Stable(e.Holders) {
+			fn(id)
+		}
+	}
+}
+
+// ScanStabilized invokes fn once per message id that was modified at or
+// after cursor and is now stable or gone, and returns the new cursor.
+// Garbage collection marks the journal too, so ids GC'd since the last
+// scan are reported. The output-commit rule consumes this to retire wait
+// entries incrementally instead of re-polling its whole wait set.
+func (l *Log) ScanStabilized(cursor int, fn func(ids.MsgID)) int {
+	return l.scanJournal(cursor, func(id ids.MsgID, e *Entry) {
+		if e == nil || l.cfg.Stable(e.Holders) {
+			fn(id)
+		}
+	})
 }
 
 // Pending returns the entries that are not yet stable, in deterministic
@@ -261,6 +317,8 @@ func (l *Log) GCReceiver(p ids.ProcID, upTo ids.RSN) int {
 	for id, e := range l.entries {
 		if e.Det.Receiver == p && e.Det.RSN <= upTo {
 			delete(l.entries, id)
+			// Journal the removal so ScanStabilized consumers observe it.
+			l.mark(id)
 			n++
 		}
 	}

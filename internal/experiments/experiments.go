@@ -108,6 +108,9 @@ type Spec struct {
 	// Tracer, if non-nil, records structured events for this run;
 	// DefaultTracer is used when nil.
 	Tracer trace.Tracer
+	// TrackOutputs wires the output-commit ledger (DESIGN §10) into the
+	// cluster; read it back with Result.C.Outputs().
+	TrackOutputs bool
 }
 
 // PaperSpec is the baseline configuration modeled on the paper's testbed:
@@ -166,6 +169,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		CheckpointEvery: spec.CPEvery,
 		StatePad:        spec.Pad,
 		Tracer:          tr,
+		TrackOutputs:    spec.TrackOutputs,
 	})
 	c.ApplyPlan(spec.Crashes)
 	events, err := c.RunContext(ctx, spec.Horizon)

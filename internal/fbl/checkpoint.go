@@ -74,6 +74,13 @@ func (p *Process) encodeCheckpoint() []byte {
 		}
 	}
 	w.Bytes(make([]byte, p.par.StatePad))
+	// The output-commit counter rides after the padding, and only when the
+	// process ever produced output: workloads that never call Ctx.Output
+	// keep byte-identical checkpoints (and thus identical storage timings
+	// and golden traces) across this format extension.
+	if p.outSeq != 0 {
+		w.U64(p.outSeq)
+	}
 	return w.Frame()
 }
 
@@ -125,6 +132,9 @@ func (p *Process) decodeCheckpoint(data []byte) error {
 	}
 	r.Bytes() // padding
 	if !r.Done() {
+		p.outSeq = r.U64() // optional tail: see encodeCheckpoint
+	}
+	if !r.Done() {
 		return fmt.Errorf("fbl: corrupt checkpoint: %v", r.Err())
 	}
 	if err := p.app.Restore(app); err != nil {
@@ -163,22 +173,32 @@ func (p *Process) doCheckpoint() {
 	}
 	p.cpBusy = true
 	rsnAt := p.rsn
+	outAt := p.outSeq
 	expAt := make([]ids.SSN, p.n)
 	for i, d := range p.expDseq {
 		expAt[i] = ids.SSN(d)
 	}
-	// Compact the determinant journal up to the slowest piggyback cursor.
+	// Compact the determinant journal up to the slowest consumer: the
+	// piggyback cursors and (when output tracking is on) the output-commit
+	// scan cursor.
 	minCur := p.dets.Cursor()
 	for _, c := range p.detCursor {
 		if c >= 0 && c < minCur {
 			minCur = c
 		}
 	}
+	if p.par.Outputs != nil && p.outCursor < minCur {
+		minCur = p.outCursor
+	}
 	p.dets.Compact(minCur)
 	p.env.WriteStable(keyCheckpoint, data, func() {
 		p.env.Tracer().End(cpSpan, p.env.Now())
 		p.cpBusy = false
 		p.cpRSN = rsnAt
+		// Outputs captured by the now-durable checkpoint are recoverable
+		// regardless of determinant replication.
+		p.cpOutSeq = outAt
+		p.checkOutputs()
 		// Our own determinants for deliveries the checkpoint covers will
 		// never be replayed again.
 		p.dets.GCReceiver(p.env.ID(), rsnAt)
@@ -237,6 +257,7 @@ func (p *Process) restore() {
 					panic(fmt.Sprintf("fbl: %v: %v", p.env.ID(), err))
 				}
 				p.cpRSN = p.rsn
+				p.cpOutSeq = p.outSeq
 			}
 			// No checkpoint: the initial state (fresh app, Start not yet
 			// run) is itself a valid recovery point.

@@ -19,6 +19,7 @@ import (
 	"rollrec/internal/failure"
 	"rollrec/internal/ids"
 	"rollrec/internal/node"
+	"rollrec/internal/output"
 	"rollrec/internal/recovery"
 	"rollrec/internal/trace"
 	"rollrec/internal/vclock"
@@ -52,6 +53,9 @@ type Params struct {
 	StorageFlushEvery time.Duration
 	// SnapshotCPUPerByte charges checkpoint serialization cost.
 	SnapshotCPUPerByte time.Duration
+	// Outputs receives the output-commit lifecycle (nil disables tracking;
+	// Ctx.Output is then a no-op).
+	Outputs output.Sink
 	// Hooks receive out-of-band observation events for tests.
 	Hooks Hooks
 }
@@ -190,6 +194,16 @@ type Process struct {
 	// Checkpoint bookkeeping.
 	cpBusy bool
 
+	// Output commit (DESIGN §10).
+	outSeq      uint64     // outputs requested so far (checkpointed)
+	cpOutSeq    uint64     // outputs covered by the last durable checkpoint
+	pendingOuts []*outWait // requested, rule not yet satisfied, seq-ascending
+	// outWaiters maps each awaited determinant id to the outputs waiting on
+	// it; outCursor is this consumer's position in the determinant log's
+	// modification journal (see checkOutputs).
+	outWaiters map[ids.MsgID][]*outWait
+	outCursor  int
+
 	// Observability (volatile, test-only).
 	journal []det.Determinant
 }
@@ -217,6 +231,7 @@ func (p *Process) Boot(env node.Env, restart bool) {
 	p.detSent = make([]map[ids.MsgID]uint64, p.n)
 	p.detCursor = make([]int, p.n)
 	p.replayServed = make([]servedMark, p.n)
+	p.outWaiters = make(map[ids.MsgID][]*outWait)
 	for i := 0; i < p.n; i++ {
 		p.sendLog[i] = make(map[uint64]logRec)
 		p.oooBuf[i] = make(map[uint64]*wire.Envelope)
@@ -326,6 +341,9 @@ func (p *Process) Deliver(e *wire.Envelope) {
 			p.env.Logf("fbl: unhandled kind %v from %v", e.Kind, e.From)
 		}
 	}
+	// Holder knowledge only grows on the receive path, so this is the one
+	// place pending outputs can become committable.
+	p.checkOutputs()
 }
 
 // absorbDets merges piggybacked determinant entries and marks ourselves as

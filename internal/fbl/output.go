@@ -1,0 +1,95 @@
+package fbl
+
+import (
+	"rollrec/internal/ids"
+)
+
+// This file implements the FBL output-commit rule (DESIGN §10): an output
+// may be released once every determinant of a causally-antecedent delivery
+// is either stable — replicated on f+1 hosts, or held by the storage
+// pseudo-process in the f = n instance — or covered by this process's own
+// durable checkpoint. No synchronous stable-storage write is required: the
+// commit point arrives with ordinary piggyback traffic returning holder
+// knowledge, or with the asynchronous periodic checkpoint.
+//
+// Bookkeeping is incremental: each output carries only a count of awaited
+// determinants, a reverse index maps determinant ids to their waiters, and
+// the determinant log's modification journal (ScanStabilized) retires wait
+// entries as ids become stable or are garbage-collected. The per-delivery
+// cost is proportional to what changed, not to what is pending — a full
+// rescan per delivery made the D11 client–server runs quadratic.
+
+// outWait is one requested output waiting for `remaining` antecedent
+// determinants to become stable or gone.
+type outWait struct {
+	seq       uint64
+	remaining int
+}
+
+// Output implements workload.Ctx.
+func (c appCtx) Output(payload []byte) {
+	p := c.p
+	if p.par.Outputs == nil {
+		return
+	}
+	p.outSeq++
+	if !p.par.Outputs.Requested(p.env.ID(), p.outSeq, p.env.Now(), payload) {
+		return // rollback re-execution of an already-released output
+	}
+	// The output depends on every delivery in its causal past whose
+	// determinant is not yet stable. The local pending set is a
+	// conservative superset of that past (it may include concurrent
+	// entries we merely forward), which can only delay, never wrongly
+	// permit, a release.
+	w := &outWait{seq: p.outSeq}
+	p.dets.PendingIDs(func(id ids.MsgID) {
+		w.remaining++
+		p.outWaiters[id] = append(p.outWaiters[id], w)
+	})
+	if w.remaining == 0 && p.mode == ModeLive {
+		p.par.Outputs.Committed(p.env.ID(), p.outSeq, p.env.Now())
+		return
+	}
+	p.pendingOuts = append(p.pendingOuts, w)
+}
+
+// checkOutputs retires wait entries for determinants that stabilized (or
+// were GC'd) since the last call, then releases every pending output whose
+// rule now holds. It runs at the end of each Deliver (holder knowledge only
+// changes there), after a checkpoint becomes durable, and when replay
+// finishes. A recovering process defers all releases until it is live
+// again, which is why outputs straddling a crash commit only after
+// recovery completes.
+func (p *Process) checkOutputs() {
+	if len(p.outWaiters) == 0 {
+		// Nothing awaited: keep the journal cursor pinned to now so the
+		// checkpoint-time Compact is never held back.
+		p.outCursor = p.dets.Cursor()
+	} else if p.outCursor != p.dets.Cursor() {
+		p.outCursor = p.dets.ScanStabilized(p.outCursor, func(id ids.MsgID) {
+			ws, ok := p.outWaiters[id]
+			if !ok {
+				return
+			}
+			delete(p.outWaiters, id)
+			// Decrements for already-released outputs (committed via
+			// checkpoint coverage) are harmless: they left pendingOuts.
+			for _, w := range ws {
+				w.remaining--
+			}
+		})
+	}
+	if len(p.pendingOuts) == 0 || p.mode != ModeLive {
+		return
+	}
+	now := p.env.Now()
+	kept := p.pendingOuts[:0]
+	for _, w := range p.pendingOuts {
+		if w.remaining <= 0 || w.seq <= p.cpOutSeq {
+			p.par.Outputs.Committed(p.env.ID(), w.seq, now)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	p.pendingOuts = kept
+}

@@ -75,6 +75,12 @@ func (p *Process) transmit(to ids.ProcID, dseq uint64, rec logRec) {
 			consider(e)
 		}
 		p.detCursor[to] = p.dets.Cursor()
+	} else if p.par.Outputs != nil {
+		// Output tracking needs holder knowledge to travel one hop past the
+		// f+1 threshold: only learning that its antecedents are stable lets
+		// the entry's receiver release output (DESIGN §10). The detSent
+		// fingerprint still bounds this to one extra copy per destination.
+		p.detCursor[to] = p.dets.ScanModified(p.detCursor[to], consider)
 	} else {
 		p.detCursor[to] = p.dets.ScanPendingModified(p.detCursor[to], consider)
 	}

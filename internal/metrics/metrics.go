@@ -53,6 +53,7 @@ type Proc struct {
 	StorageHist  trace.Histogram // per-operation stable-storage access time
 	BlockedHist  trace.Histogram // per-span live-process blocked time
 	DeliveryHist trace.Histogram // per-frame network delivery latency
+	OutputHist   trace.Histogram // per-output request→commit latency (DESIGN §10)
 
 	// Intrusion accounting.
 	blockedSince int64 // virtual ns; -1 when not blocked
@@ -141,6 +142,12 @@ func (p *Proc) StorageOp(write bool, bytes int, took time.Duration) {
 		p.StorageReadBytes += int64(bytes)
 	}
 	p.StorageHist.Record(took)
+}
+
+// OutputCommit records the request→commit latency of one externally-
+// visible output released by this process.
+func (p *Proc) OutputCommit(took time.Duration) {
+	p.OutputHist.Record(took)
 }
 
 // StorageTime returns the total time spent in storage operations.

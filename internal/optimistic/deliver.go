@@ -127,7 +127,15 @@ func (c appCtx) Send(to ids.ProcID, payload []byte) {
 	dseq := p.dseqOut[to]
 	cp := append([]byte(nil), payload...)
 	p.sendBuf[to][dseq] = sendRec{ssn: p.ssn, payload: cp}
-	p.transmit(to, dseq, sendRec{ssn: p.ssn, payload: cp})
+	// During replay the send is only recorded: re-transmitting the whole
+	// re-executed prefix floods the network with duplicates (the peers
+	// delivered almost all of it long ago) and queues seconds ahead of the
+	// recovery control traffic on era links. Peers pull the part they are
+	// actually missing — the victim's retract carries its frontier, and
+	// anyone not orphaned by it answers with a replay-request watermark.
+	if !p.rolling {
+		p.transmit(to, dseq, sendRec{ssn: p.ssn, payload: cp})
+	}
 }
 
 func (p *Process) transmit(to ids.ProcID, dseq uint64, rec sendRec) {
@@ -193,6 +201,7 @@ func (p *Process) flush() {
 		if upto > p.flushed {
 			p.flushed = upto
 		}
+		p.checkOutputs()
 		stable := p.stablePrefix()
 		wm := make([]ids.SSN, p.n)
 		for _, e := range p.log[:stable] {
@@ -222,6 +231,7 @@ func (p *Process) onFlushNotice(e *wire.Envelope) {
 		return
 	}
 	p.durFrontier[e.From] = int64(e.SSN)
+	p.checkOutputs()
 	wm := uint64(e.SSNWatermarks[self])
 	buf := p.sendBuf[e.From]
 	//rollvet:allow maporder -- deletes the value-independent prefix d <= wm; commutative
@@ -270,7 +280,15 @@ func (p *Process) onRetract(e *wire.Envelope) {
 		p.durFrontier[victim] = frontier
 	}
 	if !p.dead(victim, p.dv[victim]) {
-		return // not an orphan; nothing to do — and nobody blocked us
+		// Not an orphan. The victim replayed without re-transmitting its
+		// re-executed sends; ask for the slice past our watermark (replies
+		// of its durable suffix that were in flight when it crashed).
+		p.env.Send(victim, &wire.Envelope{
+			Kind:    wire.KindReplayRequest,
+			FromInc: ids.Incarnation(p.epoch),
+			Dseq:    p.expDseq[victim],
+		})
+		return
 	}
 	// Longest log prefix whose state does not depend on the lost suffix;
 	// the dependence is monotone along the log.

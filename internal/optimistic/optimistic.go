@@ -39,6 +39,7 @@ import (
 
 	"rollrec/internal/ids"
 	"rollrec/internal/node"
+	"rollrec/internal/output"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
 )
@@ -57,6 +58,9 @@ type Params struct {
 	// RetryEvery is the retransmission-request retry period after a
 	// rollback.
 	RetryEvery time.Duration
+	// Outputs receives the output-commit lifecycle (nil disables tracking;
+	// Ctx.Output is then a no-op).
+	Outputs output.Sink
 	// Hooks observe the run.
 	Hooks Hooks
 }
@@ -149,6 +153,10 @@ type Process struct {
 	rolling     bool // local replay in progress
 	deferred    []*wire.Envelope
 	retryTimer  node.Timer
+
+	// Output commit (DESIGN §10).
+	outSeq      uint64    // outputs requested so far on the surviving timeline
+	pendingOuts []optWait // requested, causal past not yet fully durable
 }
 
 var _ node.Process = (*Process)(nil)
@@ -263,6 +271,10 @@ func (p *Process) rebuildFrom(entries []logEntry) {
 	p.dv = make([]interval, p.n)
 	p.log = nil
 	p.flushed = 0
+	// Replay re-executes the surviving prefix's outputs, re-requesting the
+	// same sequence numbers; the ledger recognizes already-released ones.
+	p.outSeq = 0
+	p.pendingOuts = nil
 	p.app = p.par.App(p.env.ID(), p.n)
 	p.started = true
 	p.app.Start(appCtx{p})
@@ -283,6 +295,8 @@ func (p *Process) finishRollback() {
 	}
 	p.env.Logf("optimistic: recovered to interval %d (epoch %d)", p.selfIndex(), p.epoch)
 	p.rolling = false
+	// Recovery complete: the replayed (durable) prefix's outputs commit now.
+	p.checkOutputs()
 	buf := p.deferred
 	p.deferred = nil
 	for _, e := range buf {
@@ -293,6 +307,13 @@ func (p *Process) finishRollback() {
 }
 
 func (p *Process) broadcastRetract() {
+	// Record our own retraction too: in-flight messages that causally depend
+	// on the lost suffix must be stale-dropped, not delivered. Delivering
+	// one would merge the dead intervals back into our dependency vector —
+	// resurrecting the abandoned timeline and making us an orphan of our
+	// own rollback when the peers' retractions arrive.
+	p.endTable[p.env.ID()] = append(p.endTable[p.env.ID()],
+		endRecord{upto: p.epoch - 1, frontier: p.selfIndex()})
 	for q := 0; q < p.n; q++ {
 		if ids.ProcID(q) == p.env.ID() {
 			continue

@@ -1,0 +1,68 @@
+package optimistic
+
+// This file implements the optimistic-logging output-commit rule (DESIGN
+// §10): an output may be released once every state interval in its causal
+// past is logged stable — its dependency vector is componentwise covered
+// by the durable frontiers (own flushed log length, peers' announced
+// flush frontiers). Until then the output could be orphaned by a crash
+// anywhere in that past. The commit latency is therefore bounded by the
+// slowest relevant flush period — the asynchronous-stable-write cost that
+// defines the optimistic trade (§6).
+
+// optWait is one requested output with the dependency vector in force at
+// request time.
+type optWait struct {
+	seq uint64
+	dv  []interval
+}
+
+// Output implements workload.Ctx.
+func (c appCtx) Output(payload []byte) {
+	p := c.p
+	if p.par.Outputs == nil {
+		return
+	}
+	p.outSeq++
+	if !p.par.Outputs.Requested(p.env.ID(), p.outSeq, p.env.Now(), payload) {
+		return // rollback re-execution of an already-released output
+	}
+	p.pendingOuts = append(p.pendingOuts, optWait{
+		seq: p.outSeq,
+		dv:  append([]interval(nil), p.dv...),
+	})
+	// An output with no unstable antecedents commits immediately.
+	p.checkOutputs()
+}
+
+// checkOutputs releases every pending output whose causal past is now
+// durable. It runs after each flush completes, on every flush notice from
+// a peer, and when a rollback finishes; a rolling process defers releases,
+// which is why crash-straddling outputs commit only after recovery.
+func (p *Process) checkOutputs() {
+	if len(p.pendingOuts) == 0 || p.rolling {
+		return
+	}
+	p.durFrontier[p.env.ID()] = int64(p.flushed)
+	now := p.env.Now()
+	kept := p.pendingOuts[:0]
+	for _, w := range p.pendingOuts {
+		if p.dvDurable(w.dv) {
+			p.par.Outputs.Committed(p.env.ID(), w.seq, now)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	p.pendingOuts = kept
+}
+
+// dvDurable reports whether every component of dv is covered by the
+// corresponding durable frontier (the same index-wise comparison as
+// stablePrefix).
+func (p *Process) dvDurable(dv []interval) bool {
+	for q := 0; q < p.n; q++ {
+		if dv[q].index > p.durFrontier[q] {
+			return false
+		}
+	}
+	return true
+}

@@ -44,6 +44,10 @@ const (
 	EvReplay      = "replay"       // span: re-consuming logged deliveries
 	EvBlocked     = "blocked"      // span: live process deferring deliveries
 	EvCheckpoint  = "checkpoint"   // span: checkpoint capture → durable
+
+	// Output commit (DESIGN §10): one span per externally-visible output,
+	// request → commit; Arg carries the per-process output sequence number.
+	EvOutputCommit = "output-commit"
 )
 
 // Tag carries optional event annotations. The zero Tag is valid; fields

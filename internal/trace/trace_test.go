@@ -152,6 +152,34 @@ func TestChromeExportParses(t *testing.T) {
 	}
 }
 
+// TestChromeExportOutputCommit pins the span kind the output ledger emits
+// (DESIGN §10): one complete event per committed output, spanning request to
+// release, so commit latency is visible on the Perfetto timeline.
+func TestChromeExportOutputCommit(t *testing.T) {
+	r := NewRecorder(8)
+	r.Span(1000, 250, 2, EvOutputCommit, Tag{Arg: 7}) // output seq 7
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, r.Events(), ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, e := range doc.TraceEvents {
+		if e["name"] != EvOutputCommit || e["ph"] != "X" {
+			continue
+		}
+		if e["dur"] != 0.25 || e["tid"] != float64(2) { // µs in Chrome format
+			t.Fatalf("output-commit span mangled: %v", e)
+		}
+		return
+	}
+	t.Fatalf("no %q complete event in export: %s", EvOutputCommit, buf.String())
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	var h Histogram
 	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.String() != "n=0" {

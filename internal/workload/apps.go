@@ -302,6 +302,9 @@ func (c *ClientServer) Handle(ctx Ctx, from ids.ProcID, payload []byte) {
 		reply.U32(uint32(seq))
 		reply.U64(c.state)
 		reply.Bytes(nil) // keep the request/reply frame layout identical
+		// The reply is externally visible: the client acts on it, so it may
+		// only leave once the protocol's output-commit rule holds.
+		ctx.Output(reply.Frame())
 		ctx.Send(from, reply.Frame())
 		return
 	}

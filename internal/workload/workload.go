@@ -25,6 +25,15 @@ type Ctx interface {
 	Send(to ids.ProcID, payload []byte)
 	// Work charges d nanoseconds of simulated computation.
 	Work(d int64)
+	// Output declares payload as externally visible: the protocol records
+	// the output's causal dependencies now and commits it — releases it to
+	// the outside world — once its style's output-commit rule holds (all
+	// determinants of antecedent deliveries f+1-replicated or stable for
+	// FBL; covered by a committed snapshot for coordinated checkpointing;
+	// all causally-preceding state intervals logged stable for optimistic
+	// logging). The payload is not transmitted anywhere; hosts without an
+	// output ledger treat this as a no-op.
+	Output(payload []byte)
 	// Logf emits a trace line if tracing is enabled.
 	Logf(format string, args ...any)
 }

@@ -26,6 +26,7 @@ func (f *fakeCtx) Send(to ids.ProcID, payload []byte) {
 	f.sends = append(f.sends, sendRec{to, string(payload)})
 }
 func (f *fakeCtx) Work(d int64)        { f.work += d }
+func (f *fakeCtx) Output([]byte)       {}
 func (f *fakeCtx) Logf(string, ...any) {}
 
 func TestPRNGDeterministicAndSerializable(t *testing.T) {
