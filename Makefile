@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint fmt race bench bench-seed bench-micro bench-kernel check
+.PHONY: all build test vet lint fmt race bench bench-seed bench-micro bench-kernel timeline check
 
 all: build test
 
@@ -47,6 +47,12 @@ bench:
 bench-seed:
 	$(GO) test ./internal/bench -run TestGolden -update
 	$(GO) run ./cmd/bench -label seed -out BENCH_seed.json $(BENCH_AXES) -quiet
+
+# timeline regenerates the D11 recovery-timeline exports (DESIGN §11) into
+# ./timelines — deterministic byte-for-byte, so diffs mean behavior changed.
+timeline:
+	$(GO) run ./cmd/experiments -timeline timelines
+	$(GO) run ./cmd/timeline timelines/timeline_D11_fbl.json
 
 # bench-micro is the Go micro-benchmark suite (trace hot path).
 bench-micro:

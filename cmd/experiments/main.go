@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"rollrec/internal/experiments"
+	"rollrec/internal/timeline"
 	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 )
@@ -47,6 +49,10 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file covering the runs (best with a single -only id)")
 	traceSum := flag.Bool("trace-summary", false, "print the per-phase latency summary after the tables")
 	traceBuf := flag.Int("trace-buf", 1<<20, "trace ring capacity in events; older events are evicted when full")
+	tlDir := flag.String("timeline", "", "rerun the D11 crash cell per style with sampling on and write timeline_D11_<style>.{json,csv} into this directory")
+	tlEvery := flag.Duration("timeline-interval", timeline.DefaultInterval, "timeline sampling interval (virtual time)")
+	tlCrash := flag.Duration("timeline-crash", 0, "timeline cell crash instant (0: the experiment's 10s)")
+	tlHorizon := flag.Duration("timeline-horizon", 0, "timeline cell horizon (0: the experiment's 25s)")
 	flag.Parse()
 
 	var rec *trace.Recorder
@@ -73,6 +79,16 @@ func main() {
 	// instead of killing the process mid-table.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *tlDir != "" {
+		if err := writeTimelines(ctx, *tlDir, *seed, *tlEvery, *tlCrash, *tlHorizon); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if len(want) == 0 && *only == "" {
+			return // -timeline alone: just the sampled cells, no tables
+		}
+	}
 
 	ran := 0
 	for _, e := range registry {
@@ -116,6 +132,31 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeTimelines reruns the D11 failure cell per style with a sampler
+// attached and writes one JSON + CSV export pair per style. The exports are
+// byte-deterministic: same seed, interval, and cell → identical files,
+// regardless of host or GOMAXPROCS (the CI timeline-smoke job pins this).
+func writeTimelines(ctx context.Context, dir string, seed int64, every, crashAt, horizon time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, tl := range experiments.D11Timelines(ctx, seed, every, crashAt, horizon) {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		base := filepath.Join(dir, "timeline_D11_"+tl.Style)
+		if err := tl.Export.WriteFile(base + ".json"); err != nil {
+			return err
+		}
+		if err := tl.Export.WriteCSVFile(base + ".csv"); err != nil {
+			return err
+		}
+		fmt.Printf("timeline: %s → %s.{json,csv} (%d ticks, %d markers)\n",
+			tl.Export.Meta.Label, base, len(tl.Export.Ticks), len(tl.Export.Markers))
+	}
+	return nil
 }
 
 func writeChromeFile(path string, rec *trace.Recorder) error {

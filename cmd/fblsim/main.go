@@ -23,6 +23,7 @@ import (
 	"rollrec/internal/metrics"
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
+	"rollrec/internal/timeline"
 	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
@@ -44,6 +45,10 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 		traceSum = flag.Bool("trace-summary", false, "print the per-phase latency summary table")
 		traceBuf = flag.Int("trace-buf", 1<<20, "trace ring capacity in events; older events are evicted when full")
+		outputs  = flag.Bool("outputs", false, "track output commits (DESIGN §10); enables the timeline backlog series")
+		tlOut    = flag.String("timeline", "", "sample the run and write the timeline export JSON here (render with cmd/timeline)")
+		tlCSV    = flag.String("timeline-csv", "", "also write the cluster-level timeline CSV here")
+		tlEvery  = flag.Duration("timeline-interval", timeline.DefaultInterval, "timeline sampling interval (virtual time)")
 	)
 	flag.Parse()
 
@@ -82,7 +87,18 @@ func main() {
 		rec = trace.NewRecorder(*traceBuf)
 		cfg.Tracer = rec
 	}
+	cfg.TrackOutputs = *outputs
 	c := cluster.New(cfg)
+	var col *timeline.Collector
+	if *tlOut != "" || *tlCSV != "" {
+		col = timeline.New(timeline.Config{
+			Interval: *tlEvery,
+			N:        *n,
+			Label: fmt.Sprintf("fblsim n=%d f=%d style=%s hw=%s app=%s seed=%d",
+				*n, *f, style, *hwF, *appF, *seed),
+		})
+		c.AttachTimeline(col)
+	}
 	c.ApplyPlan(plan)
 	c.Run(*horizon)
 
@@ -158,6 +174,23 @@ func main() {
 			if d := rec.Dropped(); d > 0 {
 				fmt.Printf("trace: ring full, %d oldest events evicted; rerun with a larger -trace-buf\n", d)
 			}
+		}
+	}
+
+	if col != nil {
+		exp := col.Export()
+		if *tlOut != "" {
+			if err := exp.WriteFile(*tlOut); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\ntimeline: %d ticks, %d markers written to %s (render with cmd/timeline)\n",
+				len(exp.Ticks), len(exp.Markers), *tlOut)
+		}
+		if *tlCSV != "" {
+			if err := exp.WriteCSVFile(*tlCSV); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("timeline: CSV written to %s\n", *tlCSV)
 		}
 	}
 

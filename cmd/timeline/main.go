@@ -1,0 +1,61 @@
+// Command timeline is the recovery timeline explorer: it renders timeline
+// exports (cmd/fblsim -timeline, cmd/experiments -timeline) as aligned
+// ASCII sparkline lanes — one per sampled series, one phase lane per
+// process — with crash and recovery-phase markers on a lane of their own.
+//
+// Usage:
+//
+//	timeline [-w 100] [-proc 3] export.json [more.json ...]
+//
+// Each lane is max-pooled into the terminal width, so a spike is never
+// averaged away; the marker glyphs are X=crash r=restart s=restored
+// g=gathered E=recovery-end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rollrec/internal/timeline"
+)
+
+func main() {
+	width := flag.Int("w", 100, "sparkline width in cells")
+	proc := flag.Int("proc", -1, "also print this process's backlog series as numbers")
+	csvOut := flag.String("csv", "", "convert the (single) export to cluster-level CSV at this path instead of rendering")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: timeline [-w width] [-proc id] export.json [more.json ...]")
+		os.Exit(2)
+	}
+	if *csvOut != "" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "timeline: -csv converts exactly one export")
+		os.Exit(2)
+	}
+
+	for i, path := range flag.Args() {
+		e, err := timeline.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeline:", err)
+			os.Exit(1)
+		}
+		if *csvOut != "" {
+			if err := e.WriteCSVFile(*csvOut); err != nil {
+				fmt.Fprintln(os.Stderr, "timeline:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: %d ticks → %s\n", path, len(e.Ticks), *csvOut)
+			return
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		timeline.Render(os.Stdout, e, *width)
+		if *proc >= 0 {
+			fmt.Printf("p%d backlog: %v\n", *proc, e.ProcBacklog(*proc))
+			fmt.Printf("p%d oldest_open_ms: %v\n", *proc, e.ProcOldest(*proc))
+		}
+	}
+}

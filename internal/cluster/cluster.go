@@ -18,6 +18,7 @@ import (
 	"rollrec/internal/output"
 	"rollrec/internal/recovery"
 	"rollrec/internal/sim"
+	"rollrec/internal/timeline"
 	"rollrec/internal/trace"
 	"rollrec/internal/workload"
 )
@@ -197,6 +198,67 @@ func (c *Cluster) onLive(self ids.ProcID, inc ids.Incarnation, ssn ids.SSN, rsn 
 			delete(c.seen[self], c.deliveries[self][r].msg)
 			delete(c.deliveries[self], r)
 		}
+	}
+}
+
+// AttachTimeline binds col's probes to this cluster and installs its
+// sampler on the kernel. The sampler fires from inside the run loop at
+// virtual-time boundaries without enqueueing events, so attaching a
+// collector leaves the event sequence — and the golden trace hash — exactly
+// as it would be without one. Call before Run; col.N() must equal cfg.N.
+func (c *Cluster) AttachTimeline(col *timeline.Collector) {
+	if col.N() != c.cfg.N {
+		panic(fmt.Sprintf("cluster: timeline collector for n=%d attached to n=%d cluster",
+			col.N(), c.cfg.N))
+	}
+	col.Bind(timeline.Probes{
+		Queue: func() (int, int) {
+			return c.K.QueueDepth(), c.K.InFlightFrames()
+		},
+		Proc: func(i int) timeline.ProcGauges {
+			id := ids.ProcID(i)
+			g := timeline.ProcGauges{
+				Phase:       timeline.PhaseDown,
+				StableBytes: c.K.Store(id).Bytes(),
+			}
+			if c.cfg.TrackOutputs {
+				g.Backlog = c.outs.OpenOf(id)
+				g.OldestOpen = c.outs.OldestOpenOf(id)
+			}
+			p := c.Proc(id)
+			if p == nil {
+				return g
+			}
+			g.Phase = fblPhase(p)
+			g.Journal = p.DetLogLen()
+			g.Lag = p.DetPending()
+			return g
+		},
+		Metrics: func(i int) *metrics.Proc { return c.K.Metrics(ids.ProcID(i)) },
+		Markers: func() []timeline.Marker {
+			return timeline.RecoveryMarkers(c.cfg.N, func(i int) *metrics.Proc {
+				return c.K.Metrics(ids.ProcID(i))
+			})
+		},
+	})
+	c.K.SetSampler(col.Interval(), col.Tick)
+}
+
+// fblPhase maps an FBL process's lifecycle mode onto the timeline phase
+// alphabet, splitting ModeLive into live vs blocked (the paper's intrusion).
+func fblPhase(p *fbl.Process) timeline.Phase {
+	switch p.Mode() {
+	case fbl.ModeRestoring:
+		return timeline.PhaseRestoring
+	case fbl.ModeRecovering:
+		return timeline.PhaseRecovering
+	case fbl.ModeReplaying:
+		return timeline.PhaseReplaying
+	default:
+		if p.Blocked() {
+			return timeline.PhaseBlocked
+		}
+		return timeline.PhaseLive
 	}
 }
 

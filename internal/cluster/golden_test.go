@@ -90,11 +90,14 @@ func (t *hashTracer) Span(ts, dur int64, proc int32, name string, tag trace.Tag)
 	t.mix(uint64(dur))
 }
 
-// goldenRun is the pinned scenario: four processes on 1995 hardware, an
-// overlapping two-failure schedule (the second crash lands mid-recovery of
-// the first), run to quiescence.
-func goldenRun(tr trace.Tracer) *Cluster {
-	c := New(Config{
+// The pinned scenario: four processes on 1995 hardware, an overlapping
+// two-failure schedule (the second crash lands mid-recovery of the first),
+// run to quiescence. Config, plan, and horizon are factored out so the
+// timeline tests can rerun the identical scenario with a sampler attached.
+const goldenHorizon = 18 * time.Second
+
+func goldenConfig(tr trace.Tracer) Config {
+	return Config{
 		N:               4,
 		F:               2,
 		Seed:            1,
@@ -104,12 +107,20 @@ func goldenRun(tr trace.Tracer) *Cluster {
 		CheckpointEvery: 4 * time.Second,
 		StatePad:        1 << 20,
 		Tracer:          tr,
-	})
-	c.ApplyPlan(failure.Plan{
+	}
+}
+
+func goldenPlan() failure.Plan {
+	return failure.Plan{
 		{At: 6 * time.Second, Proc: 1},
 		{At: 8 * time.Second, Proc: 2},
-	})
-	c.Run(18 * time.Second)
+	}
+}
+
+func goldenRun(tr trace.Tracer) *Cluster {
+	c := New(goldenConfig(tr))
+	c.ApplyPlan(goldenPlan())
+	c.Run(goldenHorizon)
 	return c
 }
 

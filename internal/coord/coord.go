@@ -260,6 +260,10 @@ func (p *Process) restoreSnapshot(id uint32) {
 }
 
 // Deliver implements node.Process.
+// Recovering reports whether the process is currently rolling back to a
+// committed snapshot; read-only, for the timeline phase lane.
+func (p *Process) Recovering() bool { return p.rollingBack }
+
 func (p *Process) Deliver(e *wire.Envelope) {
 	if e.Kind == wire.KindRollback {
 		p.onRollback(e)

@@ -177,6 +177,20 @@ func (l *Log) Config() Config { return l.cfg }
 // Len returns the number of determinants currently held.
 func (l *Log) Len() int { return len(l.entries) }
 
+// PendingCount returns the number of entries that are not yet stable — the
+// stability lag: determinants still below the f+1-holder watermark, whose
+// loss in a failure would orphan somebody. Allocation-free, for samplers.
+func (l *Log) PendingCount() int {
+	n := 0
+	//rollvet:allow maporder -- counts a pure predicate over values; the sum is order-independent
+	for _, e := range l.entries {
+		if !l.cfg.Stable(e.Holders) {
+			n++
+		}
+	}
+	return n
+}
+
 // Record merges an entry into the log: a new determinant is stored, a known
 // one has its holder set unioned. It returns an error if the incoming
 // determinant disagrees with a stored one about the receiver or the receipt

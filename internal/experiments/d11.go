@@ -15,6 +15,7 @@ import (
 	"rollrec/internal/output"
 	"rollrec/internal/recovery"
 	"rollrec/internal/sim"
+	"rollrec/internal/timeline"
 	"rollrec/internal/workload"
 )
 
@@ -86,15 +87,15 @@ type d11Row struct {
 // no-holder-feedback case); the failure block keeps to one run per style.
 func d11Rows(ctx context.Context, seed int64, hw node.Hardware, crashAt, horizon time.Duration, withF1 bool) []d11Row {
 	rows := []d11Row{
-		{"fbl f=2 nonblocking", func() d11Run { return d11FBL(ctx, seed, hw, 2, crashAt, horizon) }},
+		{"fbl f=2 nonblocking", func() d11Run { return d11FBL(ctx, seed, hw, 2, crashAt, horizon, nil) }},
 	}
 	if withF1 {
 		rows = append(rows, d11Row{
-			"fbl f=1 nonblocking", func() d11Run { return d11FBL(ctx, seed, hw, 1, crashAt, horizon) }})
+			"fbl f=1 nonblocking", func() d11Run { return d11FBL(ctx, seed, hw, 1, crashAt, horizon, nil) }})
 	}
 	return append(rows,
-		d11Row{"coordinated", func() d11Run { return d11Coord(ctx, seed, hw, crashAt, horizon) }},
-		d11Row{"optimistic", func() d11Run { return d11Optimistic(ctx, seed, hw, crashAt, horizon) }},
+		d11Row{"coordinated", func() d11Run { return d11Coord(ctx, seed, hw, crashAt, horizon, nil) }},
+		d11Row{"optimistic", func() d11Run { return d11Optimistic(ctx, seed, hw, crashAt, horizon, nil) }},
 	)
 }
 
@@ -155,13 +156,15 @@ func d11StraddleNote(style string, r d11Run, crashAt time.Duration) string {
 
 // d11FBL runs the paper's protocol through the full cluster harness (the
 // ledger is wired by internal/cluster) and reads the run's ledger back.
-func d11FBL(ctx context.Context, seed int64, hw node.Hardware, f int, crashAt, horizon time.Duration) d11Run {
+// col, if non-nil, samples the run (see D11Timelines).
+func d11FBL(ctx context.Context, seed int64, hw node.Hardware, f int, crashAt, horizon time.Duration, col *timeline.Collector) d11Run {
 	spec := PaperSpec(recovery.NonBlocking, seed)
 	spec.HW = hw
 	spec.F = f
 	spec.App = d11App()
 	spec.Horizon = horizon
 	spec.TrackOutputs = true
+	spec.Timeline = col
 	if crashAt > 0 {
 		spec.Crashes = failure.Plan{{At: crashAt, Proc: 0}}
 	}
@@ -176,7 +179,8 @@ func d11FBL(ctx context.Context, seed int64, hw node.Hardware, f int, crashAt, h
 }
 
 // d11Coord mirrors D9's coordinated scenario with the ledger attached.
-func d11Coord(ctx context.Context, seed int64, hw node.Hardware, crashAt, horizon time.Duration) d11Run {
+// col, if non-nil, samples the run (see D11Timelines).
+func d11Coord(ctx context.Context, seed int64, hw node.Hardware, crashAt, horizon time.Duration, col *timeline.Collector) d11Run {
 	const n = 8
 	led := output.NewLedger(n)
 	k := sim.New(sim.Config{Seed: seed, HW: hw})
@@ -192,6 +196,19 @@ func d11Coord(ctx context.Context, seed int64, hw node.Hardware, crashAt, horizo
 		k.AddNode(ids.ProcID(i), coord.New(par))
 	}
 	k.Boot()
+	if col != nil {
+		attachKernelTimeline(col, k, led, n, func(i int) timeline.Phase {
+			p, ok := k.ProcOf(ids.ProcID(i)).(*coord.Process)
+			switch {
+			case !ok || p == nil:
+				return timeline.PhaseDown
+			case p.Recovering():
+				return timeline.PhaseRecovering
+			default:
+				return timeline.PhaseLive
+			}
+		}, nil)
+	}
 	if crashAt > 0 {
 		k.CrashAt(crashAt, 0)
 	}
@@ -208,7 +225,8 @@ func d11Coord(ctx context.Context, seed int64, hw node.Hardware, crashAt, horizo
 }
 
 // d11Optimistic mirrors D10's optimistic scenario with the ledger attached.
-func d11Optimistic(ctx context.Context, seed int64, hw node.Hardware, crashAt, horizon time.Duration) d11Run {
+// col, if non-nil, samples the run (see D11Timelines).
+func d11Optimistic(ctx context.Context, seed int64, hw node.Hardware, crashAt, horizon time.Duration, col *timeline.Collector) d11Run {
 	const n = 8
 	led := output.NewLedger(n)
 	k := sim.New(sim.Config{Seed: seed, HW: hw})
@@ -224,6 +242,25 @@ func d11Optimistic(ctx context.Context, seed int64, hw node.Hardware, crashAt, h
 		k.AddNode(ids.ProcID(i), optimistic.New(par))
 	}
 	k.Boot()
+	if col != nil {
+		attachKernelTimeline(col, k, led, n, func(i int) timeline.Phase {
+			p, ok := k.ProcOf(ids.ProcID(i)).(*optimistic.Process)
+			switch {
+			case !ok || p == nil:
+				return timeline.PhaseDown
+			case p.Rolling():
+				return timeline.PhaseRecovering
+			default:
+				return timeline.PhaseLive
+			}
+		}, func(i int) (journal, lag int) {
+			if p, ok := k.ProcOf(ids.ProcID(i)).(*optimistic.Process); ok && p != nil {
+				total, durable := p.LogSizes()
+				return total, total - durable
+			}
+			return 0, 0
+		})
+	}
 	if crashAt > 0 {
 		k.CrashAt(crashAt, 0)
 	}

@@ -16,6 +16,7 @@ import (
 	"rollrec/internal/metrics"
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
+	"rollrec/internal/timeline"
 	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
@@ -111,6 +112,11 @@ type Spec struct {
 	// TrackOutputs wires the output-commit ledger (DESIGN §10) into the
 	// cluster; read it back with Result.C.Outputs().
 	TrackOutputs bool
+	// Timeline, if non-nil, is attached to the run's cluster before events
+	// flow: the kernel samples it at the collector's interval (DESIGN §11).
+	// Sampling is observation-only — it changes no event ordering — so a
+	// spec with a collector simulates the exact run it would without one.
+	Timeline *timeline.Collector
 }
 
 // PaperSpec is the baseline configuration modeled on the paper's testbed:
@@ -171,6 +177,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		Tracer:          tr,
 		TrackOutputs:    spec.TrackOutputs,
 	})
+	if spec.Timeline != nil {
+		c.AttachTimeline(spec.Timeline)
+	}
 	c.ApplyPlan(spec.Crashes)
 	events, err := c.RunContext(ctx, spec.Horizon)
 	r := &Result{C: c, Spec: spec, Events: events}

@@ -38,6 +38,13 @@ func (p *Process) Blocked() bool { return p.blocked }
 // DetEntries returns the current determinant log content.
 func (p *Process) DetEntries() []det.Entry { return p.dets.All() }
 
+// DetLogLen returns the number of determinants in the volatile log.
+func (p *Process) DetLogLen() int { return p.dets.Len() }
+
+// DetPending returns the number of determinants not yet stable (below the
+// f+1-holder watermark). Allocation-free, for the timeline sampler.
+func (p *Process) DetPending() int { return p.dets.PendingCount() }
+
 // RecoveryState returns the recovery manager state.
 func (p *Process) RecoveryState() recovery.State { return p.mgr.State() }
 

@@ -17,6 +17,7 @@ import (
 	"rollrec/internal/metrics"
 	"rollrec/internal/node"
 	"rollrec/internal/storage"
+	"rollrec/internal/timeline"
 	"rollrec/internal/trace"
 	"rollrec/internal/wire"
 )
@@ -210,6 +211,67 @@ func (n *Net) Inspect(id ids.ProcID, fn func(p node.Process)) {
 	ln.mu.Lock()
 	defer ln.mu.Unlock()
 	fn(ln.proc)
+}
+
+// AttachTimeline drives col from a wall-clock ticker at the collector's
+// interval (scaled by TimeScale) — the live-runtime analogue of the
+// simulator's virtual-time sampler, sampling the same gauges so sim and
+// live timelines are directly comparable. Rows are stamped with virtual
+// time, like the simulator's; unlike the simulator's, tick alignment is
+// best-effort (the ticker drifts with the host scheduler). The returned
+// stop function halts sampling; call it before Close.
+func (n *Net) AttachTimeline(col *timeline.Collector) (stop func()) {
+	met := func(i int) *metrics.Proc { return n.Metrics(ids.ProcID(i)) }
+	col.Bind(timeline.Probes{
+		Proc: func(i int) timeline.ProcGauges {
+			ln := n.node(ids.ProcID(i))
+			if ln == nil {
+				return timeline.ProcGauges{Phase: timeline.PhaseDown}
+			}
+			ln.mu.Lock()
+			defer ln.mu.Unlock()
+			g := timeline.ProcGauges{Phase: timeline.PhaseDown, StableBytes: ln.stable.Bytes()}
+			if !ln.up {
+				return g
+			}
+			g.Phase = timeline.PhaseLive
+			// The runtime is protocol-agnostic, so protocol gauges come from
+			// optional introspection interfaces (fbl.Process has all three).
+			if b, ok := ln.proc.(interface{ Blocked() bool }); ok && b.Blocked() {
+				g.Phase = timeline.PhaseBlocked
+			}
+			if j, ok := ln.proc.(interface{ DetLogLen() int }); ok {
+				g.Journal = j.DetLogLen()
+			}
+			if j, ok := ln.proc.(interface{ DetPending() int }); ok {
+				g.Lag = j.DetPending()
+			}
+			return g
+		},
+		Metrics: met,
+		Markers: func() []timeline.Marker {
+			return timeline.RecoveryMarkers(n.nApp, met)
+		},
+	})
+	ticker := time.NewTicker(n.scale(col.Interval()))
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				col.Tick(n.vnow())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			ticker.Stop()
+			close(done)
+		})
+	}
 }
 
 func (n *Net) tracef(format string, args ...any) {

@@ -3,6 +3,8 @@ package metrics
 import (
 	"testing"
 	"time"
+
+	"rollrec/internal/trace"
 )
 
 func TestBlockedAccounting(t *testing.T) {
@@ -147,5 +149,73 @@ func TestFmtDuration(t *testing.T) {
 		if got := FmtDuration(c.d); got != c.want {
 			t.Errorf("FmtDuration(%v) = %q, want %q", c.d, got, c.want)
 		}
+	}
+}
+
+// TestDerivedAccessorsMatchHandBuiltHistograms cross-checks every histogram-
+// derived accessor against a trace.Histogram built by hand from the same
+// observations: the accessors are thin views over the distributions, and
+// this pins that they stay so (a regression here means double counting or a
+// dropped record, not a formatting bug).
+func TestDerivedAccessorsMatchHandBuiltHistograms(t *testing.T) {
+	p := NewProc()
+	var wantBlocked, wantStorage, wantOutput trace.Histogram
+
+	// Three blocking spans with distinct lengths.
+	for i, span := range []struct{ from, to int64 }{
+		{100, int64(2 * time.Millisecond)},
+		{int64(5 * time.Millisecond), int64(6 * time.Millisecond)},
+		{int64(10 * time.Millisecond), int64(40 * time.Millisecond)},
+	} {
+		p.BlockStart(span.from)
+		p.BlockEnd(span.to)
+		wantBlocked.Record(time.Duration(span.to - span.from))
+		if p.Blocked() {
+			t.Fatalf("span %d left the proc blocked", i)
+		}
+	}
+	if p.BlockedTotal() != wantBlocked.Total() {
+		t.Errorf("BlockedTotal = %v, hand-built total %v", p.BlockedTotal(), wantBlocked.Total())
+	}
+	if p.BlockedSpans() != wantBlocked.Count() {
+		t.Errorf("BlockedSpans = %d, hand-built count %d", p.BlockedSpans(), wantBlocked.Count())
+	}
+	if got, want := p.BlockedHist.Quantile(0.99), wantBlocked.Quantile(0.99); got != want {
+		t.Errorf("blocked p99 = %v, hand-built %v", got, want)
+	}
+
+	// Storage ops: totals and distribution must agree with the hand-built
+	// histogram, byte/op counters aside.
+	for _, op := range []struct {
+		write bool
+		bytes int
+		took  time.Duration
+	}{
+		{true, 4096, 18 * time.Millisecond},
+		{true, 128, time.Millisecond},
+		{false, 4096, 9 * time.Millisecond},
+	} {
+		p.StorageOp(op.write, op.bytes, op.took)
+		wantStorage.Record(op.took)
+	}
+	if p.StorageTime() != wantStorage.Total() {
+		t.Errorf("StorageTime = %v, hand-built total %v", p.StorageTime(), wantStorage.Total())
+	}
+	if p.StorageHist.Count() != wantStorage.Count() || p.StorageHist.Max() != wantStorage.Max() {
+		t.Errorf("storage hist n=%d max=%v, hand-built n=%d max=%v",
+			p.StorageHist.Count(), p.StorageHist.Max(), wantStorage.Count(), wantStorage.Max())
+	}
+
+	// Output commits feed OutputHist one for one.
+	for _, d := range []time.Duration{3 * time.Millisecond, 90 * time.Millisecond} {
+		p.OutputCommit(d)
+		wantOutput.Record(d)
+	}
+	if p.OutputHist.Count() != wantOutput.Count() || p.OutputHist.Total() != wantOutput.Total() {
+		t.Errorf("output hist n=%d total=%v, hand-built n=%d total=%v",
+			p.OutputHist.Count(), p.OutputHist.Total(), wantOutput.Count(), wantOutput.Total())
+	}
+	if got, want := p.OutputHist.String(), wantOutput.String(); got != want {
+		t.Errorf("output summary %q, hand-built %q", got, want)
 	}
 }

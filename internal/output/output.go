@@ -169,6 +169,32 @@ func (l *Ledger) Total() int { return l.total }
 // Open returns the number of outputs requested but not yet committed.
 func (l *Ledger) Open() int { return l.open }
 
+// OpenOf returns proc's requested-but-uncommitted output count: the
+// per-process output-commit backlog the timeline sampler reads.
+func (l *Ledger) OpenOf(proc ids.ProcID) int {
+	n := 0
+	for _, r := range l.procRecs(proc) {
+		if !r.Committed() {
+			n++
+		}
+	}
+	return n
+}
+
+// OldestOpenOf returns the RequestedAt instant of proc's oldest still-open
+// output, or 0 when none are open. The timeline sampler turns it into the
+// backlog-age series: commit rules release outputs roughly in request
+// order, so this age sits near the steady-state commit latency while the
+// rule can fire and climbs linearly from the moment a failure freezes it.
+func (l *Ledger) OldestOpenOf(proc ids.ProcID) int64 {
+	for _, r := range l.procRecs(proc) {
+		if !r.Committed() {
+			return r.RequestedAt
+		}
+	}
+	return 0
+}
+
 // Records returns a copy of every record, proc-ascending then
 // seq-ascending — a deterministic order for tables and tests.
 func (l *Ledger) Records() []Record {

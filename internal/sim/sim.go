@@ -116,6 +116,15 @@ type Kernel struct {
 	order     []ids.ProcID // insertion order, for deterministic boot
 	nApp      int
 	count     int64
+	inflight  int // frames scheduled to arrive but not yet popped
+
+	// Sampler hook: fired from inside the run loop at exact virtual-time
+	// boundaries without enqueueing events, so attaching a sampler consumes
+	// no sequence numbers, draws no randomness, and changes no event counts
+	// — the golden trace hash is identical with or without it.
+	samplerEvery int64
+	samplerNext  int64
+	samplerFn    func(now int64)
 }
 
 // New returns a kernel with no nodes.
@@ -168,6 +177,43 @@ func (k *Kernel) Boot() {
 
 // Now returns the current virtual time in nanoseconds.
 func (k *Kernel) Now() int64 { return k.now }
+
+// QueueDepth returns the number of events currently queued (timer credits
+// excluded — a cancelled timer holds no queue space).
+func (k *Kernel) QueueDepth() int { return len(k.heap) }
+
+// InFlightFrames returns the number of frames scheduled on the network but
+// not yet arrived.
+func (k *Kernel) InFlightFrames() int { return k.inflight }
+
+// SetSampler installs fn to be invoked at every multiple of `every` in
+// virtual time, from inside the run loop. The contract that keeps sampling
+// observation-only: a sample at boundary b runs after every event with
+// at < b and before any event with at >= b, fn must not schedule events or
+// touch kernel state, and the boundary clock persists across Run calls.
+// Because no event is enqueued, the event sequence, the processed-event
+// totals, and the golden trace hash are bit-identical with sampling on or
+// off. A nil fn detaches the sampler.
+func (k *Kernel) SetSampler(every time.Duration, fn func(now int64)) {
+	if fn == nil {
+		k.samplerFn = nil
+		return
+	}
+	if every <= 0 {
+		panic(fmt.Sprintf("sim: SetSampler(%v): non-positive sampling interval", every))
+	}
+	k.samplerEvery = int64(every)
+	k.samplerNext = (k.now/k.samplerEvery + 1) * k.samplerEvery
+	k.samplerFn = fn
+}
+
+// fireSampler invokes the sampler at every pending boundary <= upto.
+func (k *Kernel) fireSampler(upto int64) {
+	for k.samplerFn != nil && k.samplerNext <= upto {
+		k.samplerFn(k.samplerNext)
+		k.samplerNext += k.samplerEvery
+	}
+}
 
 // Net exposes the network model for partition injection and counters.
 func (k *Kernel) Net() *netmodel.Network { return k.net }
@@ -427,6 +473,7 @@ func (k *Kernel) scheduleArrive(at int64, ns *nodeState, frame []byte, sentAt in
 	s.ns = ns
 	s.frame = frame
 	s.sentAt = sentAt
+	k.inflight++
 	k.push(i)
 }
 
@@ -485,6 +532,10 @@ func (k *Kernel) RunContext(ctx context.Context, until time.Duration) (int64, er
 		if at > limit {
 			break
 		}
+		// Sample boundaries up to and including this event's time, before it
+		// dispatches: a tick at boundary b observes the state produced by
+		// all events with at < b and none with at >= b.
+		k.fireSampler(at)
 		e := k.slots[top] // copy out: dispatch may grow or recycle the arena
 		k.popTop()
 		k.release(top)
@@ -497,6 +548,7 @@ func (k *Kernel) RunContext(ctx context.Context, until time.Duration) (int64, er
 		case evExec:
 			e.ns.exec(e.epoch, e.fn)
 		case evArrive:
+			k.inflight--
 			if e.ns != nil {
 				k.frameArrived(e.ns, e.frame, e.sentAt)
 			}
@@ -513,6 +565,10 @@ func (k *Kernel) RunContext(ctx context.Context, until time.Duration) (int64, er
 		processed++
 		k.countEvent()
 	}
+	// Fire the remaining boundaries between the last dispatched event and
+	// the horizon: a run to `until` always yields floor(until/interval)
+	// samples, quiescent tail included.
+	k.fireSampler(limit)
 	if limit > k.now {
 		k.now = limit
 	}

@@ -104,6 +104,19 @@ func (s *Store) Delete(key string) { delete(s.data, key) }
 // Size returns the stored size of key's value, or 0.
 func (s *Store) Size(key string) int { return len(s.data[key]) }
 
+// Len returns the number of stored keys.
+func (s *Store) Len() int { return len(s.data) }
+
+// Bytes returns the total stored payload size: the stable-storage
+// footprint gauge the timeline sampler reads.
+func (s *Store) Bytes() int64 {
+	var total int64
+	for _, v := range s.data {
+		total += int64(len(v))
+	}
+	return total
+}
+
 // Keys returns the stored keys in sorted order.
 func (s *Store) Keys() []string {
 	out := make([]string, 0, len(s.data))

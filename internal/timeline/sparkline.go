@@ -1,0 +1,260 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs a sparkline cell can take; values
+// scale linearly into them, with zero rendered as a space so idle stretches
+// read as gaps.
+var sparkLevels = []rune{'▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'}
+
+// markerGlyphs is the one-character code each marker kind renders as in the
+// marker lane.
+var markerGlyphs = map[string]byte{
+	MarkCrash:       'X',
+	MarkRestart:     'r',
+	MarkRestored:    's',
+	MarkGathered:    'g',
+	MarkRecoveryEnd: 'E',
+}
+
+// Spark renders values as a sparkline of at most width cells. When there
+// are more values than cells, each cell shows the maximum of its bucket
+// (max-pooling) — a spike is never averaged away. Scaling is linear from 0
+// to the series maximum.
+func Spark(values []float64, width int) string {
+	if len(values) == 0 || width < 1 {
+		return ""
+	}
+	pooled := pool(values, width)
+	var peak float64
+	for _, v := range pooled {
+		if v > peak {
+			peak = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range pooled {
+		if v <= 0 || peak <= 0 {
+			sb.WriteByte(' ')
+			continue
+		}
+		lvl := int(v / peak * float64(len(sparkLevels)))
+		if lvl >= len(sparkLevels) {
+			lvl = len(sparkLevels) - 1
+		}
+		sb.WriteRune(sparkLevels[lvl])
+	}
+	return sb.String()
+}
+
+// pool max-pools values into exactly min(width, len(values)) cells, each
+// covering an equal share of the index range.
+func pool(values []float64, width int) []float64 {
+	if len(values) <= width {
+		return values
+	}
+	out := make([]float64, width)
+	for cell := 0; cell < width; cell++ {
+		lo := cell * len(values) / width
+		hi := (cell + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := values[lo]
+		for _, v := range values[lo+1 : hi] {
+			if v > m {
+				m = v
+			}
+		}
+		out[cell] = m
+	}
+	return out
+}
+
+// cellOf maps a timestamp to its sparkline cell under the same bucketing
+// pool uses, so markers line up with the series above them.
+func cellOf(tms float64, ticks []Tick, width int) int {
+	if len(ticks) == 0 {
+		return 0
+	}
+	// Find the tick index covering tms (last tick with TMS <= tms; events
+	// before the first tick land in cell 0).
+	idx := 0
+	for i, t := range ticks {
+		if t.TMS <= tms {
+			idx = i
+		}
+	}
+	n := len(ticks)
+	if n <= width {
+		return idx
+	}
+	return idx * width / n
+}
+
+// markerLane renders the marker glyphs aligned under the sparkline cells.
+// Colliding markers keep the earliest (already first in canonical order).
+func markerLane(e *Export, width int) string {
+	cells := width
+	if len(e.Ticks) < cells {
+		cells = len(e.Ticks)
+	}
+	if cells < 1 {
+		return ""
+	}
+	lane := make([]byte, cells)
+	for i := range lane {
+		lane[i] = ' '
+	}
+	for _, m := range e.Markers {
+		g, ok := markerGlyphs[m.Kind]
+		if !ok {
+			continue
+		}
+		c := cellOf(m.TMS, e.Ticks, width)
+		if c >= 0 && c < cells && lane[c] == ' ' {
+			lane[c] = g
+		}
+	}
+	return string(lane)
+}
+
+// sumInts and sumInt64s collapse per-process arrays into cluster series.
+func sumInts(pick func(Tick) []int, ticks []Tick) []float64 {
+	out := make([]float64, len(ticks))
+	for i, t := range ticks {
+		var s int
+		for _, v := range pick(t) {
+			s += v
+		}
+		out[i] = float64(s)
+	}
+	return out
+}
+
+func sumInt64s(pick func(Tick) []int64, ticks []Tick) []float64 {
+	out := make([]float64, len(ticks))
+	for i, t := range ticks {
+		var s int64
+		for _, v := range pick(t) {
+			s += v
+		}
+		out[i] = float64(s)
+	}
+	return out
+}
+
+// Render prints the timeline explorer view: one aligned sparkline lane per
+// series, per-process phase lanes, and a marker lane keyed by glyph. Width
+// bounds the sparkline cell count (the series is max-pooled into it).
+func Render(w io.Writer, e *Export, width int) {
+	if width < 8 {
+		width = 8
+	}
+	ticks := e.Ticks
+	if len(ticks) == 0 {
+		fmt.Fprintf(w, "timeline %q: no samples\n", e.Meta.Label)
+		return
+	}
+	span := ticks[len(ticks)-1].TMS
+	fmt.Fprintf(w, "timeline %q: n=%d interval=%gms span=%gms ticks=%d markers=%d\n",
+		e.Meta.Label, e.Meta.N, e.Meta.IntervalMS, span, len(ticks), len(e.Markers))
+
+	lanes := []struct {
+		name   string
+		values []float64
+	}{
+		{"queue", perTick(ticks, func(t Tick) float64 { return float64(t.Queue) })},
+		{"inflight", perTick(ticks, func(t Tick) float64 { return float64(t.InFlight) })},
+		{"journal", sumInts(func(t Tick) []int { return t.Journal }, ticks)},
+		{"lag", sumInts(func(t Tick) []int { return t.Lag }, ticks)},
+		{"stable_B", sumInt64s(func(t Tick) []int64 { return t.Stable }, ticks)},
+		{"backlog", sumInts(func(t Tick) []int { return t.Backlog }, ticks)},
+		{"blk_age", perTick(ticks, maxOldest)},
+		{"dlv_p99", perTick(ticks, func(t Tick) float64 { return t.Delivery.P99MS })},
+		{"out_p99", perTick(ticks, func(t Tick) float64 { return t.Output.P99MS })},
+	}
+	for _, l := range lanes {
+		var peak float64
+		for _, v := range l.values {
+			if v > peak {
+				peak = v
+			}
+		}
+		fmt.Fprintf(w, "%-9s|%s| max=%g\n", l.name, padLane(Spark(l.values, width), width, len(ticks)), peak)
+	}
+
+	// Phase lanes: one row per process, one cell per pooled bucket showing
+	// the "worst" phase in the bucket (Down > Replaying > ... > Live).
+	for p := 0; p < e.Meta.N; p++ {
+		fmt.Fprintf(w, "p%-8d|%s|\n", p, padLane(phaseLane(ticks, p, width), width, len(ticks)))
+	}
+
+	if lane := markerLane(e, width); strings.TrimSpace(lane) != "" {
+		fmt.Fprintf(w, "%-9s|%s| X=crash r=restart s=restored g=gathered E=recovery-end\n",
+			"markers", padLane(lane, width, len(ticks)))
+	}
+}
+
+// maxOldest is the cluster backlog-age lane: the worst per-process age.
+func maxOldest(t Tick) float64 {
+	var m float64
+	for _, v := range t.Oldest {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// perTick maps each tick through f.
+func perTick(ticks []Tick, f func(Tick) float64) []float64 {
+	out := make([]float64, len(ticks))
+	for i, t := range ticks {
+		out[i] = f(t)
+	}
+	return out
+}
+
+// phaseLane renders process p's phase runes, max-pooled by phase severity.
+func phaseLane(ticks []Tick, p int, width int) string {
+	vals := make([]float64, len(ticks))
+	for i, t := range ticks {
+		if p < len(t.Phases) {
+			vals[i] = float64(phaseOf(t.Phases[p]))
+		}
+	}
+	pooled := pool(vals, width)
+	out := make([]byte, len(pooled))
+	for i, v := range pooled {
+		out[i] = Phase(v).Rune()
+	}
+	return string(out)
+}
+
+// phaseOf inverts Phase.Rune; unknown runes read as live.
+func phaseOf(r byte) Phase {
+	for i, pr := range phaseRunes {
+		if pr == r {
+			return Phase(i)
+		}
+	}
+	return PhaseLive
+}
+
+// padLane right-pads a lane whose series is shorter than width, so the
+// closing | of every lane lines up.
+func padLane(lane string, width, n int) string {
+	cells := width
+	if n < cells {
+		cells = n
+	}
+	if got := len([]rune(lane)); got < cells {
+		lane += strings.Repeat(" ", cells-got)
+	}
+	return lane + strings.Repeat(" ", width-cells)
+}

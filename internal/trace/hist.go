@@ -136,6 +136,30 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sum += other.sum
 }
 
+// Delta returns the histogram of observations recorded in h but not in
+// prev, assuming prev is an earlier snapshot of the same accumulating
+// histogram (bucket counts monotonically non-decreasing). Min and max of
+// the window are approximated to bucket resolution — the exact extremes of
+// only the new observations are not recoverable from two cumulative
+// snapshots. Buckets where prev exceeds h (a misuse) clamp to zero.
+func (h *Histogram) Delta(prev *Histogram) Histogram {
+	var d Histogram
+	for i := range h.counts {
+		c := h.counts[i] - prev.counts[i]
+		if c <= 0 {
+			continue
+		}
+		d.counts[i] = c
+		d.n += c
+		d.sum += c * bucketLow(i)
+		if d.min == 0 && d.n == c { // first populated bucket
+			d.min = bucketLow(i)
+		}
+		d.max = bucketLow(i)
+	}
+	return d
+}
+
 // String summarizes the distribution for logs and tables.
 func (h *Histogram) String() string {
 	if h.n == 0 {

@@ -290,3 +290,71 @@ func TestSummarize(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramDelta: diffing two snapshots of one accumulating histogram
+// yields exactly the window's observations — the tumbling-window primitive
+// the timeline sampler builds its per-tick percentiles on.
+func TestHistogramDelta(t *testing.T) {
+	var h, snap Histogram
+	h.Record(2 * time.Millisecond)
+	h.Record(40 * time.Millisecond)
+	snap = h
+
+	h.Record(100 * time.Millisecond)
+	h.Record(100 * time.Millisecond)
+	h.Record(7 * time.Second)
+
+	d := h.Delta(&snap)
+	if d.Count() != 3 {
+		t.Fatalf("window count = %d, want 3 (only post-snapshot records)", d.Count())
+	}
+	// Values are recovered to bucket resolution (≤ ~6% low).
+	if p50 := d.Quantile(0.50); p50 < 90*time.Millisecond || p50 > 100*time.Millisecond {
+		t.Errorf("window p50 = %v, want ~100ms", p50)
+	}
+	if d.Min() < 90*time.Millisecond || d.Min() > 100*time.Millisecond {
+		t.Errorf("window min = %v, want ~100ms (pre-snapshot 2ms must not leak in)", d.Min())
+	}
+	if d.Max() < 6*time.Second || d.Max() > 7*time.Second {
+		t.Errorf("window max = %v, want ~7s", d.Max())
+	}
+
+	// An idle window is empty, and a self-delta is empty.
+	if e := h.Delta(&h); e.Count() != 0 {
+		t.Errorf("self-delta count = %d, want 0", e.Count())
+	}
+	var zero Histogram
+	full := h.Delta(&zero)
+	if full.Count() != h.Count() {
+		t.Errorf("delta against zero lost records: %d vs %d", full.Count(), h.Count())
+	}
+
+	// Misuse (prev ahead of h) clamps to empty rather than going negative.
+	if bad := snap.Delta(&h); bad.Count() != 0 {
+		t.Errorf("reversed delta count = %d, want 0", bad.Count())
+	}
+}
+
+// TestChromeExportEmptyRecorder pins the byte-exact Chrome output of an
+// empty recorder: a well-formed, deterministic document even when nothing
+// was traced.
+func TestChromeExportEmptyRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, NewRecorder(16).Events(), ChromeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "{\"traceEvents\":[\n\n]}\n"
+	if got != want {
+		t.Fatalf("empty export = %q, want %q", got, want)
+	}
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty export decoded %d events", len(doc.TraceEvents))
+	}
+}
