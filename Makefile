@@ -15,12 +15,17 @@ vet:
 
 # rollvet is the repo's own determinism & protocol-invariant analyzer
 # (internal/analysis): virtual-clock discipline, seeded randomness, ordered
-# map iteration in protocol paths, no goroutines in sim-driven packages,
-# and a consistent wire.Kind table. `go test ./...` already enforces it for
-# internal/... and the root package; this target also sweeps cmd/ and
-# examples/.
+# map iteration in protocol paths, no goroutines in sim-driven packages, a
+# consistent wire.Kind table, plus the dataflow checks — arena pointers
+# must not escape their handler (poolescape), //rollvet:hotpath call trees
+# must not allocate (hotalloc), storage/wire errors must be consulted
+# (stablewrite), and wire.Kind switches must be exhaustive or defaulted
+# (kindswitch). `go test ./...` already enforces it for internal/... and
+# the root package; this target also sweeps cmd/ and examples/, then pins
+# the suppression count against .rollvet-allow-budget.
 lint:
 	$(GO) run ./cmd/rollvet ./...
+	./scripts/suppression_budget.sh
 
 # fmt checks gofmt cleanliness. internal/analysis/testdata is excluded on
 # purpose: its fixtures carry deliberately unidiomatic formatting that the

@@ -5,15 +5,32 @@
 //
 //	go run ./cmd/rollvet ./...          # whole module
 //	go run ./cmd/rollvet ./internal/... # protocol packages only
+//	go run ./cmd/rollvet -json ./...    # machine-readable findings
 //	go run ./cmd/rollvet -list          # describe the checks
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on load or
-// type-check failure. Findings print as file:line:col diagnostics. A
+// Exit status is a contract CI scripts rely on:
+//
+//	0  clean — no unsuppressed findings
+//	1  at least one unsuppressed finding was reported
+//	2  load or type-check failure (bad patterns, code that does not build)
+//
+// Suppressed findings never affect the exit status; they appear only in
+// -json output, flagged "suppressed": true.
+//
+// Findings print as file:line:col diagnostics, or with -json as one JSON
+// document {version, total, suppressed, findings:[{file, line, col, check,
+// message, suppressed}]} with module-root-relative slash paths, sorted by
+// position — byte-identical across runs and machines for the same tree. A
 // finding is silenced — with a mandatory justification — by
 //
 //	//rollvet:allow <check> -- <reason>
 //
 // on the offending line or the line directly above it.
+//
+// Run rollvet over the whole module (./...). The hotalloc and poolescape
+// checks are whole-program: a partial load that omits the //rollvet:hotpath
+// roots cannot see into callees in other packages, so findings may be
+// missed and their suppressions mis-reported as stale.
 package main
 
 import (
@@ -27,8 +44,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the checks and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (suppressed ones included)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: rollvet [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rollvet [-list] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -49,19 +67,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rollvet: %v\n", err)
 		os.Exit(2)
 	}
-	diags := analysis.CheckPackages(pkgs, analysis.All)
-	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
-				name = rel
-			}
+	findings := analysis.CheckPackagesAll(pkgs, analysis.All)
+
+	failing := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			failing++
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "rollvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	if *jsonOut {
+		root, err := analysis.ModuleRoot(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rollvet: %v\n", err)
+			os.Exit(2)
+		}
+		if err := analysis.WriteJSON(os.Stdout, root, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "rollvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		cwd, _ := os.Getwd()
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			name := f.Pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+					name = rel
+				}
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", name, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		}
+	}
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "rollvet: %d finding(s) in %d package(s)\n", failing, len(pkgs))
 		os.Exit(1)
 	}
 }

@@ -21,6 +21,19 @@
 //     belongs to internal/livenet.
 //   - wiresync:  the wire.Kind constant table, its kindMax sentinel,
 //     KindCount, and the String() name table stay in lockstep.
+//   - poolescape: a pointer into a //rollvet:pooled arena (the sim kernel's
+//     event slots) must not outlive the handler that obtained it — no
+//     stores to fields/globals/maps/slices, no closure capture, no use
+//     across a call that may recycle the pool.
+//   - hotalloc:  functions annotated //rollvet:hotpath, and everything they
+//     statically call, must not contain allocating constructs; this is the
+//     compile-time explanation of the AllocsPerRun CI gates.
+//   - stablewrite: error results from internal/storage and internal/wire
+//     must be checked (an ignored stable-write error silently breaks the
+//     f+1 stability guarantee), and a wire.Reader must have Err/Done
+//     consulted before its values are trusted.
+//   - kindswitch: a switch over wire.Kind without a default must enumerate
+//     every kind, so new message kinds cannot silently fall through.
 //
 // Findings are suppressed per line with
 //
@@ -51,6 +64,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
+// Finding is a diagnostic plus its suppression state. CheckPackagesAll
+// returns findings (machine-readable output wants the suppressed ones too);
+// CheckPackages keeps the original filtered view.
+type Finding struct {
+	Diagnostic
+	Suppressed bool
+}
+
 // Pass hands one analyzer everything it needs to examine one package.
 type Pass struct {
 	Fset     *token.FileSet
@@ -58,6 +79,7 @@ type Pass struct {
 	Files    []*ast.File
 	TypesPkg *types.Package
 	Info     *types.Info
+	Prog     *Program // whole-run directive index and static callgraph
 
 	check  string
 	report func(Diagnostic)
@@ -80,7 +102,10 @@ type Analyzer struct {
 }
 
 // All is the full rollvet suite in reporting order.
-var All = []*Analyzer{SimTime, DetRand, MapOrder, Goroutine, WireSync}
+var All = []*Analyzer{
+	SimTime, DetRand, MapOrder, Goroutine, WireSync,
+	PoolEscape, HotAlloc, StableWrite, KindSwitch,
+}
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *Analyzer {
@@ -108,16 +133,36 @@ var detPackages = map[string]bool{
 
 // CheckPackages runs every analyzer over every package, applies suppression
 // comments, and returns the surviving findings sorted by position.
-// Malformed suppressions are returned as findings of check "suppress".
+// Malformed or stale suppressions are returned as findings of check
+// "suppress".
 func CheckPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range CheckPackagesAll(pkgs, analyzers) {
+		if !f.Suppressed {
+			out = append(out, f.Diagnostic)
+		}
+	}
+	return out
+}
+
+// CheckPackagesAll is CheckPackages without the suppression filter: every
+// finding is returned, suppressed ones flagged rather than dropped, so
+// machine-readable consumers (cmd/rollvet -json) can expose the full
+// picture. The whole package set is indexed once into a shared Program
+// (pooled/hotpath directives plus the static callgraph) before any
+// analyzer runs, so the dataflow checks see cross-package annotations.
+func CheckPackagesAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var out []Diagnostic
+	prog := buildProgram(pkgs)
+	var out []Finding
 	for _, pkg := range pkgs {
 		allows, supDiags := collectSuppressions(pkg, known)
-		out = append(out, supDiags...)
+		for _, d := range supDiags {
+			out = append(out, Finding{Diagnostic: d})
+		}
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -126,15 +171,17 @@ func CheckPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				TypesPkg: pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				check:    a.Name,
 				report:   func(d Diagnostic) { raw = append(raw, d) },
 			}
 			a.Run(pass)
 		}
 		for _, d := range raw {
-			if !allows.covers(d) {
-				out = append(out, d)
-			}
+			out = append(out, Finding{Diagnostic: d, Suppressed: allows.covers(d)})
+		}
+		for _, d := range allows.stale() {
+			out = append(out, Finding{Diagnostic: d})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -129,6 +129,29 @@ func TestWireSyncFixtures(t *testing.T) {
 	runFixture(t, "wiresync/bad")
 }
 
+func TestPoolEscapeFixtures(t *testing.T) {
+	runFixture(t, "poolescape/arena")
+}
+
+func TestHotAllocFixtures(t *testing.T) {
+	runFixture(t, "hotalloc/hot")
+}
+
+func TestStableWriteFixtures(t *testing.T) {
+	runFixture(t, "stablewrite/wire")
+}
+
+func TestKindSwitchFixtures(t *testing.T) {
+	runFixture(t, "kindswitch/wire")
+}
+
+// TestInertSuppressions checks the stale-allow and unknown-directive
+// findings: a suppression that silences nothing and a typoed rollvet
+// directive must both surface instead of rotting silently.
+func TestInertSuppressions(t *testing.T) {
+	runFixture(t, "suppress/inert")
+}
+
 // TestMalformedSuppressions checks the driver refuses sloppy allow
 // directives: each malformed form becomes a "suppress" finding and the
 // underlying violation is still reported.

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc is the compile-time face of the AllocsPerRun CI gates: functions
+// annotated //rollvet:hotpath, plus everything they statically call inside
+// the module, must not contain allocating constructs. Where the runtime
+// gate says "1 alloc/op appeared", this check says which line. Flagged
+// constructs:
+//
+//   - make, new
+//   - &T{...}, slice and map literals (value struct literals stay legal —
+//     they live on the stack unless something else makes them escape)
+//   - every append (growth is what the pre-sized-arena design forbids;
+//     amortized-growth sites carry a //rollvet:allow with their argument)
+//   - non-constant string concatenation, string<->[]byte/[]rune conversions
+//   - closure creation
+//   - variadic calls with arguments (they materialize the argument slice)
+//   - interface boxing of non-pointer concrete arguments
+//
+// Constructs inside panic(...) arguments are exempt: a panicking hot path
+// is already off the measured path.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//rollvet:hotpath functions and their static callees must not allocate",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	hot := pass.Prog.hotFuncs()
+	if len(hot) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			root, isHot := hot[obj]
+			if !isHot {
+				continue
+			}
+			where := fmt.Sprintf("in //rollvet:hotpath %s", obj.Name())
+			if obj != root {
+				where = fmt.Sprintf("in %s (reached from //rollvet:hotpath %s)", obj.Name(), root.Name())
+			}
+			checkHotBody(pass, fd.Body, where)
+		}
+	}
+}
+
+func checkHotBody(pass *Pass, body *ast.BlockStmt, where string) {
+	info := pass.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(info, n) {
+				return false // cold by definition; skip the argument subtree
+			}
+			checkHotCall(pass, n, where)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "taking the address of a composite literal allocates %s", where)
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates its backing array %s", where)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates %s", where)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !isConstExpr(info, n) && isStringType(info.TypeOf(n)) {
+				pass.Reportf(n.Pos(), "string concatenation allocates %s", where)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure creation allocates %s", where)
+			return false // its body executes elsewhere; the closure value is the cost here
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call in a hot body: builtin allocators, heap
+// conversions, variadic slice materialization, and interface boxing.
+func checkHotCall(pass *Pass, call *ast.CallExpr, where string) {
+	info := pass.Info
+
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string <-> []byte/[]rune copies.
+		if len(call.Args) == 1 {
+			to, from := tv.Type, info.TypeOf(call.Args[0])
+			if stringSliceConv(to, from) || stringSliceConv(from, to) {
+				pass.Reportf(call.Pos(), "conversion between string and byte/rune slice allocates %s", where)
+			}
+		}
+		return
+	}
+
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates %s", where)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates %s", where)
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array %s", where)
+			}
+			return
+		}
+	}
+
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	nFixed := params.Len()
+	if sig.Variadic() {
+		nFixed--
+		if !call.Ellipsis.IsValid() && len(call.Args) > nFixed {
+			pass.Reportf(call.Pos(), "variadic call allocates its argument slice %s", where)
+		}
+	}
+	for i, arg := range call.Args {
+		if i >= nFixed {
+			break // variadic tail already reported as the slice allocation
+		}
+		if boxed := boxesInterface(info, arg, params.At(i).Type()); boxed != "" {
+			pass.Reportf(arg.Pos(), "passing %s as %s boxes the value and may allocate %s",
+				boxed, params.At(i).Type().String(), where)
+		}
+	}
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringSliceConv reports a string -> []byte/[]rune shape (one direction).
+func stringSliceConv(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	s, ok := to.Underlying().(*types.Slice)
+	if !ok || !isStringType(from) {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return e.Kind() == types.Byte || e.Kind() == types.Rune
+}
+
+// boxesInterface returns the concrete type name when assigning arg to a
+// parameter of interface type forces a heap box: non-pointer-shaped
+// concrete values (structs, strings, slices, large scalars) are copied into
+// an allocated box; pointers, channels, maps, and funcs fit the interface
+// word directly, and nil costs nothing.
+func boxesInterface(info *types.Info, arg ast.Expr, param types.Type) string {
+	if param == nil {
+		return ""
+	}
+	if _, ok := param.Underlying().(*types.Interface); !ok {
+		return ""
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.IsNil() {
+		return ""
+	}
+	at := tv.Type
+	if at == nil {
+		return ""
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return ""
+	}
+	return at.String()
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// JSONFinding is the machine-readable form of one finding. File paths are
+// module-root-relative with forward slashes, so the output is byte-stable
+// across machines and working directories.
+type JSONFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// jsonReport is the envelope cmd/rollvet -json emits. Total counts the
+// findings that fail the build (unsuppressed); Suppressed counts the
+// findings carried by a //rollvet:allow.
+type jsonReport struct {
+	Version    int           `json:"version"`
+	Total      int           `json:"total"`
+	Suppressed int           `json:"suppressed"`
+	Findings   []JSONFinding `json:"findings"`
+}
+
+// ModuleRoot locates the module root directory for dir (the directory
+// holding go.mod), for callers that want root-relative paths.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root, _, err := findModule(abs)
+	return root, err
+}
+
+// WriteJSON renders findings (as returned by CheckPackagesAll: sorted,
+// suppressed entries included and flagged) as one indented JSON document.
+// The encoding is deterministic: fixed field order, findings already
+// position-sorted, paths relativized to root.
+func WriteJSON(w io.Writer, root string, findings []Finding) error {
+	rep := jsonReport{Version: 1, Findings: make([]JSONFinding, 0, len(findings))}
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File:       filepath.ToSlash(name),
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Check:      f.Check,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		})
+		if f.Suppressed {
+			rep.Suppressed++
+		} else {
+			rep.Total++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindSwitch enforces exhaustiveness on the wire protocol vocabulary: a
+// switch over wire.Kind that has no default clause must enumerate every
+// kind. The repo is about to grow CIC/partial-snapshot message kinds
+// (ROADMAP), and a dispatch switch that silently falls through on a new
+// kind drops protocol messages on the floor — the exact bug shape wiresync
+// guards against at the constant-table level, lifted to the dispatch sites.
+var KindSwitch = &Analyzer{
+	Name: "kindswitch",
+	Doc:  "a switch over wire.Kind without a default must enumerate every kind",
+	Run:  runKindSwitch,
+}
+
+func runKindSwitch(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			kind := wireKindType(pass.Info.TypeOf(sw.Tag))
+			if kind == nil {
+				return true
+			}
+			covered := make(map[int64]bool)
+			for _, stmt := range sw.Body.List {
+				clause, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if clause.List == nil {
+					return true // a default clause catches new kinds
+				}
+				for _, expr := range clause.List {
+					tv, ok := pass.Info.Types[expr]
+					if !ok || tv.Value == nil {
+						continue
+					}
+					if v, exact := constant.Int64Val(tv.Value); exact {
+						covered[v] = true
+					}
+				}
+			}
+			var missing []string
+			for _, c := range kindConsts(kind) {
+				if v, _ := constant.Int64Val(c.Val()); !covered[v] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch over %s.Kind has no default and misses %s; handle them or add a default clause",
+					kind.Obj().Pkg().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// wireKindType returns t as a named type when it is the Kind vocabulary of
+// a package named wire, and nil otherwise.
+func wireKindType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil || obj.Pkg().Name() != "wire" {
+		return nil
+	}
+	return named
+}
+
+// kindConsts returns the exported Kind constants of the defining package in
+// ascending value order. The unexported kindMax sentinel (and any other
+// internal marker) is excluded: it is not a message kind.
+func kindConsts(kind *types.Named) []*types.Const {
+	scope := kind.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), kind) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Int64Val(out[i].Val())
+		vj, _ := constant.Int64Val(out[j].Val())
+		return vi < vj
+	})
+	return out
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape polices pointers into recycled arenas. The sim kernel hands
+// event handlers views into its flat slot arena (//rollvet:pooled); a slot
+// is reused the moment the kernel releases it, so a pointer that outlives
+// the handler — stored in a field, a global, a container, captured by a
+// closure, or merely held across a call that can recycle the arena — reads
+// someone else's event later. Value copies are the sanctioned way out and
+// are never flagged.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc:  "pointers into //rollvet:pooled arenas must not outlive the handler that obtained them",
+	Run:  runPoolEscape,
+}
+
+func runPoolEscape(pass *Pass) {
+	if len(pass.Prog.pooled) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolEscapes(pass, fd)
+		}
+	}
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(pass *Pass, v *types.Var) bool {
+	return v.Parent() == pass.TypesPkg.Scope()
+}
+
+// pooledName labels a pooled pointer type for diagnostics, e.g. "sim.event".
+func pooledName(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Name() + "." + tn.Name()
+}
+
+// callSpan is the source range of a call that could recycle an arena.
+type callSpan struct{ pos, end token.Pos }
+
+func checkPoolEscapes(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	pooledExpr := func(e ast.Expr) *types.TypeName {
+		return pass.Prog.pooledPtrElem(info.TypeOf(e))
+	}
+	pooledVar := func(id *ast.Ident) (*types.Var, *types.TypeName) {
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return nil, nil
+		}
+		tn := pass.Prog.pooledPtrElem(v.Type())
+		if tn == nil {
+			return nil, nil
+		}
+		return v, tn
+	}
+
+	// Every call except builtins and conversions is assumed able to reach
+	// the kernel and recycle slots; the use-after-call rule below compares
+	// their ranges against pointer lifetimes.
+	var calls []callSpan
+	// defs records where each pooled-pointer local was (re)bound: the End
+	// of the defining statement, in source order.
+	defs := make(map[*types.Var][]token.Pos)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, cannot touch the arena
+			}
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					return true
+				}
+			}
+			calls = append(calls, callSpan{n.Pos(), n.End()})
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) || pooledExpr(rhs) == nil {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						defs[v] = append(defs[v], n.End())
+					} else if v, ok := info.Uses[id].(*types.Var); ok && !isPackageLevel(pass, v) {
+						defs[v] = append(defs[v], n.End())
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, val := range n.Values {
+				if i >= len(n.Names) || pooledExpr(val) == nil {
+					continue
+				}
+				if v, ok := info.Defs[n.Names[i]].(*types.Var); ok {
+					defs[v] = append(defs[v], n.End())
+				}
+			}
+		}
+		return true
+	})
+
+	// rebound marks assignment targets: overwriting a pooled local is a
+	// rebinding, not a use of the stale pointer.
+	rebound := make(map[*ast.Ident]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					rebound[id] = true
+				}
+			}
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				tn := pooledExpr(rhs)
+				if tn == nil {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(n.Pos(),
+						"pooled %s pointer stored to a field; the arena recycles the slot after the handler returns — copy the value instead",
+						pooledName(tn))
+				case *ast.IndexExpr:
+					pass.Reportf(n.Pos(),
+						"pooled %s pointer stored to a map or slice element that outlives the handler",
+						pooledName(tn))
+				case *ast.Ident:
+					if v, ok := info.Uses[lhs].(*types.Var); ok && isPackageLevel(pass, v) {
+						pass.Reportf(n.Pos(),
+							"pooled %s pointer stored to package-level variable %s",
+							pooledName(tn), v.Name())
+					}
+				case *ast.StarExpr:
+					pass.Reportf(n.Pos(),
+						"pooled %s pointer stored through a pointer that may outlive the handler",
+						pooledName(tn))
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if tn := pooledExpr(val); tn != nil {
+					pass.Reportf(val.Pos(),
+						"pooled %s pointer stored in a composite literal that may outlive the handler",
+						pooledName(tn))
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					for _, arg := range n.Args[1:] {
+						if tn := pooledExpr(arg); tn != nil {
+							pass.Reportf(arg.Pos(),
+								"pooled %s pointer appended to a slice that may outlive the handler",
+								pooledName(tn))
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if tn := pooledExpr(n.Value); tn != nil {
+				pass.Reportf(n.Pos(),
+					"pooled %s pointer sent on a channel; the receiver sees a recycled slot",
+					pooledName(tn))
+			}
+		case *ast.FuncLit:
+			reportClosureCaptures(pass, n, pooledVar)
+			return false // captures inside nested literals are reported there
+		case *ast.Ident:
+			if rebound[n] {
+				return true
+			}
+			v, tn := pooledVar(n)
+			if v == nil {
+				return true
+			}
+			ends := defs[v]
+			var defEnd token.Pos
+			for _, e := range ends {
+				if e <= n.Pos() && e > defEnd {
+					defEnd = e
+				}
+			}
+			if defEnd == token.NoPos {
+				return true
+			}
+			for _, c := range calls {
+				if c.pos >= defEnd && c.end <= n.Pos() {
+					pass.Reportf(n.Pos(),
+						"pooled %s pointer %s used after a call that may recycle the arena; copy the fields you need before the call",
+						pooledName(tn), v.Name())
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportClosureCaptures flags pooled-pointer variables from an enclosing
+// scope referenced inside a function literal: the closure may run after the
+// arena slot has been recycled.
+func reportClosureCaptures(pass *Pass, lit *ast.FuncLit, pooledVar func(*ast.Ident) (*types.Var, *types.TypeName)) {
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, tn := pooledVar(id)
+		if v == nil || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal itself
+		}
+		seen[v] = true
+		pass.Reportf(id.Pos(),
+			"pooled %s pointer %s captured by a closure that may outlive the handler",
+			pooledName(tn), v.Name())
+		return true
+	})
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Source annotations read by the dataflow-capable checks. Unlike
+// //rollvet:allow these are not suppressions — they *opt code in* to
+// stricter invariants:
+//
+//	//rollvet:pooled   on a type declaration: values of this type live in a
+//	                   recycled pool/arena; pointers to them must not escape
+//	                   the handler that obtained them (check poolescape).
+//	//rollvet:hotpath  on a function declaration: this function and every
+//	                   function it statically calls must be allocation-free
+//	                   (check hotalloc).
+//
+// Both markers go in the doc comment of the declaration they annotate.
+const (
+	pooledMarker  = "rollvet:pooled"
+	hotpathMarker = "rollvet:hotpath"
+)
+
+// hasDirective reports whether the comment group carries the given marker
+// as a standalone //rollvet:<name> line (optionally followed by prose).
+func hasDirective(groups []*ast.CommentGroup, marker string) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+marker)
+			if ok && (text == "" || text[0] == ' ' || text[0] == '\t') {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcBody locates the syntax of one module function.
+type funcBody struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// Program is the whole-module view shared by every Pass of one
+// CheckPackages run: the directive index (pooled types, hotpath roots) and
+// a static callgraph over the loaded packages. Calls into packages outside
+// the analyzed set (the standard library, or module packages excluded by
+// the load patterns) are leaves: they are recorded as edges but never
+// traversed, so dynamic dispatch through interfaces and function values
+// bounds the reachable set instead of exploding it.
+type Program struct {
+	pooled map[*types.TypeName]bool
+	roots  []*types.Func // //rollvet:hotpath functions, source order
+	decls  map[*types.Func]funcBody
+	calls  map[*types.Func][]*types.Func
+
+	hot map[*types.Func]*types.Func // hot function -> the root that reaches it
+}
+
+// buildProgram indexes directives and the callgraph over pkgs. pkgs must be
+// in a deterministic order (Load returns them sorted by import path), which
+// makes root order — and therefore hot-set attribution — deterministic.
+func buildProgram(pkgs []*Package) *Program {
+	pr := &Program{
+		pooled: make(map[*types.TypeName]bool),
+		decls:  make(map[*types.Func]funcBody),
+		calls:  make(map[*types.Func][]*types.Func),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					pr.decls[obj] = funcBody{pkg: pkg, decl: d}
+					if hasDirective([]*ast.CommentGroup{d.Doc}, hotpathMarker) {
+						pr.roots = append(pr.roots, obj)
+					}
+					if d.Body != nil {
+						pr.calls[obj] = collectCallees(pkg.Info, d.Body)
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.TYPE {
+						continue
+					}
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if !hasDirective([]*ast.CommentGroup{d.Doc, ts.Doc, ts.Comment}, pooledMarker) {
+							continue
+						}
+						if obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+							pr.pooled[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return pr
+}
+
+// collectCallees returns the statically resolvable callees of body, in
+// first-occurrence order, deduplicated.
+func collectCallees(info *types.Info, body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeOf(info, call); fn != nil && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeOf resolves a call to the *types.Func it statically invokes:
+// package functions, methods (through concrete or interface receivers), but
+// not function values, conversions, or builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// hotFuncs returns every function reachable from a //rollvet:hotpath root
+// through the static callgraph (the roots included), mapped to the first
+// root that reaches it. Built once per Program, on first use.
+func (pr *Program) hotFuncs() map[*types.Func]*types.Func {
+	if pr.hot != nil {
+		return pr.hot
+	}
+	pr.hot = make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, r := range pr.roots {
+		if _, ok := pr.hot[r]; ok {
+			continue
+		}
+		pr.hot[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		root := pr.hot[fn]
+		for _, callee := range pr.calls[fn] {
+			if _, ok := pr.hot[callee]; ok {
+				continue
+			}
+			if _, hasBody := pr.decls[callee]; !hasBody {
+				continue // leaf: no syntax to scan or traverse
+			}
+			pr.hot[callee] = root
+			queue = append(queue, callee)
+		}
+	}
+	return pr.hot
+}
+
+// pooledPtrElem returns the pooled type name when t is a pointer to a
+// //rollvet:pooled named type, and nil otherwise. Value copies of a pooled
+// type are deliberately legal: copying the payload out of a slot is exactly
+// how handlers are supposed to survive pool recycling.
+func (pr *Program) pooledPtrElem(t types.Type) *types.TypeName {
+	if t == nil || len(pr.pooled) == 0 {
+		return nil
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || !pr.pooled[named.Obj()] {
+		return nil
+	}
+	return named.Obj()
+}

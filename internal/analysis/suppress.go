@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -12,44 +13,95 @@ import (
 //
 // A suppression on line L silences findings of <check> on line L (trailing
 // form) and on line L+1 (standalone form, placed directly above the code).
-// The reason after " -- " is mandatory and the check name must exist, so a
-// stale or sloppy suppression shows up as a finding instead of silently
-// rotting.
+// The reason after " -- " is mandatory, the check name must exist, and the
+// suppression must actually silence something: a stale or sloppy
+// suppression shows up as a finding instead of silently rotting.
 const allowMarker = "rollvet:allow"
 
-// allowSet indexes suppressions by file, line, and check name.
-type allowSet map[string]map[int]map[string]bool
+// directivePrefix is the common stem of every rollvet source directive.
+// Any comment starting with it must parse as one of the known directives
+// (allow, pooled, hotpath); a typo like //rollvet:allowsimtime or
+// //rollvet:hotpth would otherwise be silently inert — or worse, silently
+// honored as a different directive than the author intended.
+const directivePrefix = "//rollvet:"
 
-func (s allowSet) add(file string, line int, check string) {
-	byLine := s[file]
+// allowEntry is one well-formed suppression, tracked so that suppressions
+// which never fire can be reported as stale.
+type allowEntry struct {
+	pos   token.Position
+	check string
+	used  bool
+}
+
+// allowSet indexes suppressions by file, line, and check name, keeping the
+// original scan order for deterministic stale-suppression reporting.
+type allowSet struct {
+	entries []*allowEntry
+	byLine  map[string]map[int]map[string]*allowEntry
+}
+
+func newAllowSet() *allowSet {
+	return &allowSet{byLine: make(map[string]map[int]map[string]*allowEntry)}
+}
+
+func (s *allowSet) add(pos token.Position, check string) {
+	e := &allowEntry{pos: pos, check: check}
+	s.entries = append(s.entries, e)
+	byLine := s.byLine[pos.Filename]
 	if byLine == nil {
-		byLine = make(map[int]map[string]bool)
-		s[file] = byLine
+		byLine = make(map[int]map[string]*allowEntry)
+		s.byLine[pos.Filename] = byLine
 	}
-	checks := byLine[line]
+	checks := byLine[pos.Line]
 	if checks == nil {
-		checks = make(map[string]bool)
-		byLine[line] = checks
+		checks = make(map[string]*allowEntry)
+		byLine[pos.Line] = checks
 	}
-	checks[check] = true
+	checks[check] = e
 }
 
 // covers reports whether d is silenced by a suppression on its own line or
-// on the line directly above it.
-func (s allowSet) covers(d Diagnostic) bool {
-	byLine := s[d.Pos.Filename]
+// on the line directly above it, marking every matching entry as used.
+func (s *allowSet) covers(d Diagnostic) bool {
+	byLine := s.byLine[d.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
-	return byLine[d.Pos.Line][d.Check] || byLine[d.Pos.Line-1][d.Check]
+	hit := false
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if e := byLine[line][d.Check]; e != nil {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
-// collectSuppressions scans a package's comments for allowMarker directives.
-// Well-formed ones are returned as an allowSet; malformed ones (missing
-// reason, unknown check) come back as "suppress" diagnostics so they cannot
-// silently disable anything.
-func collectSuppressions(pkg *Package, known map[string]bool) (allowSet, []Diagnostic) {
-	allows := make(allowSet)
+// stale returns one "suppress" diagnostic per entry that silenced nothing,
+// in scan order.
+func (s *allowSet) stale() []Diagnostic {
+	var diags []Diagnostic
+	for _, e := range s.entries {
+		if e.used {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   e.pos,
+			Check: "suppress",
+			Message: fmt.Sprintf(
+				"suppression of %q silences nothing on this line or the next; delete the stale //%s",
+				e.check, allowMarker),
+		})
+	}
+	return diags
+}
+
+// collectSuppressions scans a package's comments for rollvet directives.
+// Well-formed allows are returned as an allowSet; malformed ones (missing
+// reason, unknown check, unknown directive word) come back as "suppress"
+// diagnostics so they cannot silently disable anything.
+func collectSuppressions(pkg *Package, known map[string]bool) (*allowSet, []Diagnostic) {
+	allows := newAllowSet()
 	var diags []Diagnostic
 	bad := func(c *ast.Comment, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -61,24 +113,36 @@ func collectSuppressions(pkg *Package, known map[string]bool) (allowSet, []Diagn
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
-				text, ok := strings.CutPrefix(c.Text, "//"+allowMarker)
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
 				if !ok {
 					continue
 				}
-				directive, reason, hasReason := strings.Cut(text, "--")
-				check := strings.TrimSpace(directive)
-				switch {
-				case check == "":
-					bad(c, "suppression names no check: //%s <check> -- <reason>", allowMarker)
-				case strings.ContainsAny(check, " \t"):
-					bad(c, "suppression must name exactly one check, got %q", check)
-				case !known[check]:
-					bad(c, "suppression names unknown check %q", check)
-				case !hasReason || strings.TrimSpace(reason) == "":
-					bad(c, "suppression of %q is missing its mandatory reason: //%s %s -- <reason>", check, allowMarker, check)
+				word := rest
+				if i := strings.IndexAny(word, " \t"); i >= 0 {
+					word = word[:i]
+				}
+				switch word {
+				case "allow":
+					text := strings.TrimPrefix(rest, "allow")
+					directive, reason, hasReason := strings.Cut(text, "--")
+					check := strings.TrimSpace(directive)
+					switch {
+					case check == "":
+						bad(c, "suppression names no check: //%s <check> -- <reason>", allowMarker)
+					case strings.ContainsAny(check, " \t"):
+						bad(c, "suppression must name exactly one check, got %q", check)
+					case !known[check]:
+						bad(c, "suppression names unknown check %q", check)
+					case !hasReason || strings.TrimSpace(reason) == "":
+						bad(c, "suppression of %q is missing its mandatory reason: //%s %s -- <reason>", check, allowMarker, check)
+					default:
+						allows.add(pkg.Fset.Position(c.Pos()), check)
+					}
+				case "pooled", "hotpath":
+					// Annotation directives consumed by buildProgram.
 				default:
-					pos := pkg.Fset.Position(c.Pos())
-					allows.add(pos.Filename, pos.Line, check)
+					bad(c, "unknown rollvet directive %q; known directives are allow, pooled, hotpath",
+						directivePrefix+word)
 				}
 			}
 		}

@@ -1,0 +1,82 @@
+// Package hot exercises the hotalloc check: //rollvet:hotpath functions and
+// their static callees must not allocate, with panic arguments exempt and
+// cold functions untouched.
+package hot
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+type point struct{ x, y int }
+
+//rollvet:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v) // want "append may grow its backing array"
+	r.record(v)
+}
+
+// record is hot by reachability from push, not by its own annotation.
+func (r *ring) record(v int) {
+	s := make([]int, 4) // want "make allocates"
+	s[0] = v
+	p := new(point) // want "new allocates"
+	p.x = v
+	q := &point{v, v} // want "taking the address of a composite literal allocates"
+	q.y = v
+	_ = []int{v} // want "slice literal allocates its backing array"
+	box(v) // want "passing int as any boxes the value"
+}
+
+func box(x any) { _ = x }
+
+//rollvet:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//rollvet:hotpath
+func capture(v int) func() int {
+	return func() int { return v } // want "closure creation allocates"
+}
+
+//rollvet:hotpath
+func spread(a, b int) int {
+	return sum(a, b) // want "variadic call allocates its argument slice"
+}
+
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+//rollvet:hotpath
+func rawBytes(s string) int {
+	return len([]byte(s)) // want "conversion between string and byte/rune slice allocates"
+}
+
+// guard shows the panic exemption: the concatenation feeding panic sits off
+// the measured path.
+//
+//rollvet:hotpath
+func guard(i, n int, what string) {
+	if i >= n {
+		panic("index out of range in " + what)
+	}
+}
+
+// cold allocates at will; nothing reaches it from a hotpath root.
+func cold(v int) []int {
+	return append([]int{}, v)
+}
+
+// amortized demonstrates the allow path for sanctioned growth.
+//
+//rollvet:hotpath
+func amortized(buf []int, v int) []int {
+	//rollvet:allow hotalloc -- amortized growth measured by the arena benchmarks
+	return append(buf, v)
+}

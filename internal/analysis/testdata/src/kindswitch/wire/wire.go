@@ -1,0 +1,70 @@
+// Package wire exercises the kindswitch check: a switch over Kind with no
+// default must enumerate every exported kind. The vocabulary mirrors the
+// real package (contiguous block, kindMax sentinel, KindCount, String
+// table) so wiresync stays quiet.
+package wire
+
+// Kind discriminates envelope types.
+type Kind uint8
+
+const (
+	KindA Kind = iota + 1
+	KindB
+	KindC
+
+	kindMax
+)
+
+// KindCount is the size any array indexed by Kind must have.
+const KindCount = int(kindMax)
+
+// String names the kind for traces.
+func (k Kind) String() string {
+	names := [...]string{
+		KindA: "a",
+		KindB: "b",
+		KindC: "c",
+	}
+	if int(k) < len(names) && names[k] != "" {
+		return names[k]
+	}
+	return "kind?"
+}
+
+func incomplete(k Kind) int {
+	switch k { // want "switch over wire.Kind has no default and misses KindC"
+	case KindA, KindB:
+		return 1
+	}
+	return 0
+}
+
+func defaulted(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func exhaustive(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	case KindC:
+		return 3
+	}
+	return 0
+}
+
+// otherSwitch is over a plain int; no exhaustiveness demanded.
+func otherSwitch(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

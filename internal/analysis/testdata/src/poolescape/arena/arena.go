@@ -1,0 +1,95 @@
+// Package arena exercises the poolescape check: pointers into a
+// //rollvet:pooled slot arena must not outlive the handler that obtained
+// them, while value copies and handler-local use stay legal.
+package arena
+
+// event is one recycled arena slot.
+//
+//rollvet:pooled
+type event struct {
+	at  int64
+	seq uint64
+	pos int
+}
+
+type kernel struct {
+	slots []event
+	held  *event
+	byID  map[int]*event
+}
+
+type holder struct{ e *event }
+
+var global *event
+
+func (k *kernel) recycle() {}
+
+func (k *kernel) storeField(i int) {
+	e := &k.slots[i]
+	k.held = e // want "pooled arena.event pointer stored to a field"
+}
+
+func (k *kernel) storeGlobal(i int) {
+	global = &k.slots[i] // want "stored to package-level variable global"
+}
+
+func (k *kernel) storeMap(i int) {
+	k.byID[i] = &k.slots[i] // want "stored to a map or slice element"
+}
+
+func (k *kernel) appendEscape(i int, out []*event) []*event {
+	return append(out, &k.slots[i]) // want "appended to a slice"
+}
+
+func (k *kernel) structLit(i int) holder {
+	return holder{e: &k.slots[i]} // want "stored in a composite literal"
+}
+
+func (k *kernel) send(ch chan *event, i int) {
+	ch <- &k.slots[i] // want "sent on a channel"
+}
+
+func (k *kernel) capture(i int) func() int64 {
+	e := &k.slots[i]
+	return func() int64 {
+		return e.at // want "captured by a closure"
+	}
+}
+
+func (k *kernel) useAfterCall(i int) int64 {
+	e := &k.slots[i]
+	k.recycle()
+	return e.at // want "used after a call that may recycle the arena"
+}
+
+// copyOut is the sanctioned pattern: copy the slot by value, then calls may
+// recycle it freely.
+func (k *kernel) copyOut(i int) int64 {
+	e := k.slots[i]
+	k.recycle()
+	return e.at
+}
+
+// localUse never lets the pointer cross a call; all quiet.
+func (k *kernel) localUse(i int) int64 {
+	e := &k.slots[i]
+	e.seq++
+	return e.at + int64(e.seq)
+}
+
+// rebind overwrites the stale pointer after the call instead of reading
+// through it; the assignment target is not a use.
+func (k *kernel) rebind(i, j int) int64 {
+	e := &k.slots[i]
+	_ = e.at
+	k.recycle()
+	e = &k.slots[j]
+	return e.at
+}
+
+// suppressed demonstrates the allow path for an intentional hold.
+func (k *kernel) suppressed(i int) {
+	e := &k.slots[i]
+	//rollvet:allow poolescape -- fixture demonstrates the allow path
+	k.held = e
+}

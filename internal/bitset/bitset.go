@@ -43,6 +43,7 @@ func (s *Set) Add(i int) {
 	}
 	w := i / wordBits
 	for len(s.words) <= w {
+		//rollvet:allow hotalloc -- growth is bounded by the holder-universe size (n+1 bits) and happens once per set
 		s.words = append(s.words, 0)
 	}
 	s.words[w] |= 1 << uint(i%wordBits)

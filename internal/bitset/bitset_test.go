@@ -238,3 +238,69 @@ func BenchmarkUnion(b *testing.B) {
 		a.Union(c)
 	}
 }
+
+func TestElemsFromSliceRoundTrip(t *testing.T) {
+	cases := [][]int{
+		nil,
+		{0},
+		{0, 1, 63, 64, 65, 127, 128, 500},
+		{7, 7, 7}, // duplicates collapse
+	}
+	for _, elems := range cases {
+		s := FromSlice(elems)
+		back := FromSlice(s.Elems())
+		if !s.Equal(back) {
+			t.Errorf("FromSlice(%v).Elems() round trip mismatch: %v vs %v", elems, s, back)
+		}
+		got := back.Elems()
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Errorf("Elems() not strictly ascending: %v", got)
+			}
+		}
+	}
+}
+
+func TestQuickElemsRoundTrip(t *testing.T) {
+	f := func(xs []uint16) bool {
+		s := FromSlice(normalize(xs))
+		return FromSlice(s.Elems()).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotOpsDoNotAllocate pins the invariant the //rollvet:hotpath callers
+// rely on: once a set has grown to cover its element universe, the
+// operations on the determinant hot path are allocation-free. Add's growth
+// append carries the matching //rollvet:allow hotalloc and is exercised
+// separately above.
+func TestHotOpsDoNotAllocate(t *testing.T) {
+	a := FromSlice([]int{1, 63, 64, 200})
+	b := FromSlice([]int{2, 63, 199, 200})
+	sink := false
+	sinkInt := 0
+	var sinkWords []uint64
+	ops := map[string]func(){
+		"Contains":   func() { sink = a.Contains(64) },
+		"Count":      func() { sinkInt = a.Count() },
+		"Empty":      func() { sink = a.Empty() },
+		"Equal":      func() { sink = a.Equal(b) },
+		"Intersects": func() { sink = a.Intersects(b) },
+		"Words":      func() { sinkWords = a.Words() },
+		"AddNoGrow":  func() { a.Add(100) },
+		"Remove":     func() { a.Remove(100) },
+		"Subtract":   func() { a.Subtract(b) },
+		"UnionNoGrow": func() {
+			// b's backing is no longer than a's, so Union never appends.
+			a.Union(b)
+		},
+	}
+	for name, op := range ops {
+		if allocs := testing.AllocsPerRun(100, op); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per call; hot-path ops must be allocation-free", name, allocs)
+		}
+	}
+	_, _, _ = sink, sinkInt, sinkWords
+}

@@ -296,6 +296,10 @@ func (p *Process) Deliver(e *wire.Envelope) {
 		p.commit(e.Round)
 	case wire.KindHeartbeat:
 		// Liveness only; nothing to do.
+	default:
+		// Other protocols' kinds (FBL storage traffic, optimistic
+		// recovery rounds) never reach a coordinated-checkpointing
+		// cluster; dropping them is deliberate, not a missed dispatch.
 	}
 }
 

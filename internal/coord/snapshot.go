@@ -146,6 +146,10 @@ func parseCommitted(data []byte) (id, epoch uint32) {
 	r := wire.NewReader(data)
 	id = r.U32()
 	epoch = r.U32()
+	if r.Err() != nil {
+		// Self-written state; a short frame means no snapshot committed.
+		return 0, 0
+	}
 	return id, epoch
 }
 

@@ -104,7 +104,14 @@ func NewLog(cfg Config) *Log {
 	return &Log{cfg: cfg, entries: make(map[ids.MsgID]*Entry)}
 }
 
-func (l *Log) mark(id ids.MsgID) { l.journal = append(l.journal, id) }
+// mark appends id to the modification journal consumed by the scan
+// cursors.
+//
+//rollvet:hotpath
+func (l *Log) mark(id ids.MsgID) {
+	//rollvet:allow hotalloc -- journal growth is amortized; Compact recycles the prefix via the base offset
+	l.journal = append(l.journal, id)
+}
 
 // Cursor returns the current journal position for ScanPendingModified.
 func (l *Log) Cursor() int { return l.base + len(l.journal) }
@@ -180,6 +187,8 @@ func (l *Log) Len() int { return len(l.entries) }
 // PendingCount returns the number of entries that are not yet stable — the
 // stability lag: determinants still below the f+1-holder watermark, whose
 // loss in a failure would orphan somebody. Allocation-free, for samplers.
+//
+//rollvet:hotpath
 func (l *Log) PendingCount() int {
 	n := 0
 	//rollvet:allow maporder -- counts a pure predicate over values; the sum is order-independent
@@ -214,6 +223,8 @@ func (l *Log) Record(e Entry) error {
 }
 
 // AddHolder marks process p as holding the determinant of msg, if known.
+//
+//rollvet:hotpath
 func (l *Log) AddHolder(msg ids.MsgID, p ids.ProcID) {
 	if e, ok := l.entries[msg]; ok {
 		if idx := HolderIndex(p, l.cfg.N); idx >= 0 && !e.Holders.Contains(idx) {
@@ -235,6 +246,8 @@ func (l *Log) Lookup(msg ids.MsgID) (Entry, bool) {
 // determinant is either stable or no longer tracked (garbage-collected,
 // which only happens once its receiver checkpointed past the delivery).
 // Unlike Lookup it allocates nothing, so it is safe on hot paths.
+//
+//rollvet:hotpath
 func (l *Log) StableOrGone(msg ids.MsgID) bool {
 	e, ok := l.entries[msg]
 	return !ok || l.cfg.Stable(e.Holders)

@@ -43,6 +43,8 @@ func (c appCtx) Send(to ids.ProcID, payload []byte) {
 }
 
 // holderFingerprint folds a holder set into a comparable value.
+//
+//rollvet:hotpath
 func holderFingerprint(e det.Entry) uint64 {
 	h := uint64(1469598103934665603)
 	for _, w := range e.Holders.Words() {

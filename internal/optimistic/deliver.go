@@ -54,6 +54,10 @@ func (p *Process) Deliver(e *wire.Envelope) {
 		p.onFlushNotice(e)
 	case wire.KindHeartbeat:
 		// Liveness only.
+	default:
+		// Kinds owned by the other protocols (FBL storage traffic,
+		// coordinated-checkpointing rounds) never reach an optimistic
+		// cluster; dropping them is deliberate, not a missed dispatch.
 	}
 }
 

@@ -238,7 +238,12 @@ func parseEpoch(data []byte) uint32 {
 	if len(data) < 4 {
 		return 1
 	}
-	return wire.NewReader(data).U32()
+	r := wire.NewReader(data)
+	epoch := r.U32()
+	if r.Err() != nil {
+		return 1
+	}
+	return epoch
 }
 
 // selfIndex returns this process's current state-interval index (its

@@ -106,12 +106,15 @@ func (l *Ledger) procRecs(proc ids.ProcID) []Record {
 }
 
 // Requested implements Sink.
+//
+//rollvet:hotpath
 func (l *Ledger) Requested(proc ids.ProcID, seq uint64, now int64, payload []byte) bool {
 	rs := l.procRecs(proc)
 	if seq == 0 || seq > uint64(len(rs))+1 {
 		panic(fmt.Sprintf("output: proc %d requested seq %d with %d recorded", proc, seq, len(rs)))
 	}
 	if seq == uint64(len(rs))+1 {
+		//rollvet:allow hotalloc -- per-process record growth is amortized append-only history
 		l.recs[proc] = append(rs, Record{
 			Proc: proc, Seq: seq, RequestedAt: now,
 			Size: len(payload), Hash: hash(payload),
@@ -133,6 +136,8 @@ func (l *Ledger) Requested(proc ids.ProcID, seq uint64, now int64, payload []byt
 }
 
 // Committed implements Sink.
+//
+//rollvet:hotpath
 func (l *Ledger) Committed(proc ids.ProcID, seq uint64, now int64) {
 	rs := l.procRecs(proc)
 	if seq == 0 || seq > uint64(len(rs)) {
@@ -151,6 +156,8 @@ func (l *Ledger) Committed(proc ids.ProcID, seq uint64, now int64) {
 }
 
 // CommitUpTo implements Sink.
+//
+//rollvet:hotpath
 func (l *Ledger) CommitUpTo(proc ids.ProcID, seq uint64, now int64) {
 	rs := l.procRecs(proc)
 	if seq > uint64(len(rs)) {
@@ -171,6 +178,8 @@ func (l *Ledger) Open() int { return l.open }
 
 // OpenOf returns proc's requested-but-uncommitted output count: the
 // per-process output-commit backlog the timeline sampler reads.
+//
+//rollvet:hotpath
 func (l *Ledger) OpenOf(proc ids.ProcID) int {
 	n := 0
 	for _, r := range l.procRecs(proc) {
@@ -186,6 +195,8 @@ func (l *Ledger) OpenOf(proc ids.ProcID) int {
 // backlog-age series: commit rules release outputs roughly in request
 // order, so this age sits near the steady-state commit latency while the
 // rule can fire and climbs linearly from the moment a failure freezes it.
+//
+//rollvet:hotpath
 func (l *Ledger) OldestOpenOf(proc ids.ProcID) int64 {
 	for _, r := range l.procRecs(proc) {
 		if !r.Committed() {

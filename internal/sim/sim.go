@@ -74,7 +74,11 @@ const (
 // event is one scheduled callback slot; seq breaks ties deterministically.
 // Slots are pooled: while queued, pos is the index in Kernel.heap; while
 // free, nextFree links the free list and gen has been bumped so stale
-// timer handles can detect reuse.
+// timer handles can detect reuse. Pointers into the arena go stale the
+// moment a slot is released or the backing array grows — copy the slot out
+// by value (as RunContext does) before any call that can touch the arena.
+//
+//rollvet:pooled
 type event struct {
 	at     int64
 	seq    uint64
@@ -277,6 +281,7 @@ func (k *Kernel) alloc() int32 {
 		k.free = k.slots[i].next
 		return i
 	}
+	//rollvet:allow hotalloc -- arena growth is amortized and bounded by peak queue depth; the AllocsPerRun gate measures the steady state
 	k.slots = append(k.slots, event{})
 	return int32(len(k.slots) - 1)
 }
@@ -362,6 +367,7 @@ func (k *Kernel) siftDown(i int) {
 // push enqueues a filled slot.
 func (k *Kernel) push(i int32) {
 	k.slots[i].pos = int32(len(k.heap))
+	//rollvet:allow hotalloc -- heap growth is amortized and bounded by peak queue depth; steady state reuses the backing array
 	k.heap = append(k.heap, i)
 	k.siftUp(len(k.heap) - 1)
 }
@@ -397,6 +403,7 @@ func (k *Kernel) remove(pos int32) {
 // pushCredit records a cancelled event's deadline (binary min-heap by
 // (at, seq)).
 func (k *Kernel) pushCredit(c credit) {
+	//rollvet:allow hotalloc -- credit-heap growth is amortized and bounded by the number of simultaneously cancelled timers
 	k.cancelled = append(k.cancelled, c)
 	i := len(k.cancelled) - 1
 	for i > 0 {
@@ -443,6 +450,8 @@ func creditLess(a, b credit) bool {
 // schedule enqueues a generic callback; past times clamp to "now" (the
 // only clamp point — At and the typed schedulers all funnel through
 // newEvent).
+//
+//rollvet:hotpath
 func (k *Kernel) schedule(at int64, fn func()) {
 	i := k.newEvent(at)
 	s := &k.slots[i]
@@ -453,6 +462,8 @@ func (k *Kernel) schedule(at int64, fn func()) {
 
 // scheduleExec enqueues an epoch-guarded callback on ns (timer fires and
 // busy-deferred callbacks) without allocating a wrapper closure.
+//
+//rollvet:hotpath
 func (k *Kernel) scheduleExec(at int64, ns *nodeState, epoch uint64, fn func()) int32 {
 	i := k.newEvent(at)
 	s := &k.slots[i]
@@ -466,6 +477,8 @@ func (k *Kernel) scheduleExec(at int64, ns *nodeState, epoch uint64, fn func()) 
 
 // scheduleArrive enqueues a frame arrival (ns nil for unregistered
 // destinations, preserved so the event count matches the send schedule).
+//
+//rollvet:hotpath
 func (k *Kernel) scheduleArrive(at int64, ns *nodeState, frame []byte, sentAt int64) {
 	i := k.newEvent(at)
 	s := &k.slots[i]
@@ -478,6 +491,8 @@ func (k *Kernel) scheduleArrive(at int64, ns *nodeState, frame []byte, sentAt in
 }
 
 // scheduleDeliver enqueues a busy-deferred delivery.
+//
+//rollvet:hotpath
 func (k *Kernel) scheduleDeliver(at int64, ns *nodeState, frame []byte, epoch uint64) {
 	i := k.newEvent(at)
 	s := &k.slots[i]
@@ -734,6 +749,8 @@ func (k *Kernel) deliver(ns *nodeState, frame []byte, epoch uint64) {
 
 // exec runs fn when the process is free, dropping it if the process
 // instance it belongs to has since crashed.
+//
+//rollvet:hotpath
 func (ns *nodeState) exec(epoch uint64, fn func()) {
 	if ns.epoch != epoch || !ns.up {
 		return
@@ -759,13 +776,19 @@ type simTimer struct {
 // space), while the deadline is credited to the processed-event totals so
 // event accounting matches a scheduler without cancellation. Safe to call
 // repeatedly and after firing.
+//
+//rollvet:hotpath
 func (t *simTimer) Stop() {
 	s := &t.k.slots[t.slot]
 	if s.gen != t.gen {
 		return // already fired, stopped, or slot recycled
 	}
-	t.k.pushCredit(credit{at: s.at, seq: s.seq})
-	t.k.remove(s.pos)
+	// Copy the slot coordinates out before touching the kernel: pushCredit
+	// precedes the heap removal, and a pointer into the arena must not be
+	// trusted across any call that can recycle or grow it.
+	at, seq, pos := s.at, s.seq, s.pos
+	t.k.pushCredit(credit{at: at, seq: seq})
+	t.k.remove(pos)
 	t.k.release(t.slot)
 }
 

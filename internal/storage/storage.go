@@ -102,13 +102,19 @@ func (s *Store) Get(key string) ([]byte, bool) {
 func (s *Store) Delete(key string) { delete(s.data, key) }
 
 // Size returns the stored size of key's value, or 0.
+//
+//rollvet:hotpath
 func (s *Store) Size(key string) int { return len(s.data[key]) }
 
 // Len returns the number of stored keys.
+//
+//rollvet:hotpath
 func (s *Store) Len() int { return len(s.data) }
 
 // Bytes returns the total stored payload size: the stable-storage
 // footprint gauge the timeline sampler reads.
+//
+//rollvet:hotpath
 func (s *Store) Bytes() int64 {
 	var total int64
 	for _, v := range s.data {

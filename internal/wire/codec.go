@@ -359,6 +359,8 @@ func Decode(frame []byte) (*Envelope, error) {
 // Size returns the encoded length of the envelope without allocating the
 // frame; the network model charges bandwidth by this number. It is kept in
 // lockstep with Encode by tests.
+//
+//rollvet:hotpath
 func Size(e *Envelope) int {
 	n := 1 + 1 + 4 + 4 + 4 + 2 // version, kind, from, to, inc, presence
 	p := presence(e)

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Suppression budget: pin the repo-wide count of live //rollvet:allow
+# annotations. The count is taken from rollvet's own -json report (the
+# "suppressed" total), not from grep, so doc-comment examples and string
+# literals mentioning the directive are never miscounted, and stale
+# suppressions cannot hide in the number — rollvet reports those as
+# findings and fails before this script runs.
+#
+# Rules enforced:
+#   1. .rollvet-allow-budget must equal the live count exactly — shrinking
+#      the count requires lowering the budget too (a ratchet).
+#   2. When SUPPRESSION_BASE is set (CI passes the PR base or push-before
+#      SHA), a budget increase relative to that commit must come with a
+#      change to DESIGN.md, whose §8 documents every invariant and its
+#      sanctioned escapes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budget_file=.rollvet-allow-budget
+budget=$(tr -dc '0-9' < "$budget_file")
+
+report=$(go run ./cmd/rollvet -json ./...)
+count=$(printf '%s\n' "$report" | sed -n 's/^  "suppressed": \([0-9]*\),*$/\1/p' | head -n1)
+if [ -z "$count" ]; then
+    echo "suppression_budget: could not parse rollvet -json output" >&2
+    exit 1
+fi
+echo "live //rollvet:allow suppressions: $count (budget: $budget)"
+
+if [ "$count" != "$budget" ]; then
+    echo "error: $budget_file records $budget but the tree has $count live suppressions;" >&2
+    echo "update $budget_file to $count in the same change (and DESIGN.md §8 if the count grew)" >&2
+    exit 1
+fi
+
+base="${SUPPRESSION_BASE:-}"
+if [ -z "$base" ] || ! git rev-parse -q --verify "$base^{commit}" >/dev/null 2>&1; then
+    exit 0
+fi
+old=$(git show "$base:$budget_file" 2>/dev/null | tr -dc '0-9' || true)
+if [ -n "$old" ] && [ "$count" -gt "$old" ]; then
+    if git diff --name-only "$base" HEAD -- DESIGN.md | grep -q .; then
+        echo "budget grew $old -> $count and DESIGN.md was updated: ok"
+    else
+        echo "error: suppression budget grew $old -> $count without updating DESIGN.md (§8);" >&2
+        echo "document the new sanctioned escape before raising the budget" >&2
+        exit 1
+    fi
+fi
