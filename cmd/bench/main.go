@@ -8,7 +8,7 @@
 //
 //	bench [-label L] [-out FILE] [-seeds 1,2] [-n 4,8] [-f 0,1,2]
 //	      [-profiles 1995,modern] [-styles nonblocking,blocking,manetho]
-//	      [-workers N] [-merge-seeds] [-quiet]
+//	      [-loads 0,1000] [-workers N] [-merge-seeds] [-quiet]
 //	bench compare OLD.json NEW.json [-threshold 0.05]
 //	bench table SNAPSHOT.json
 //
@@ -55,12 +55,13 @@ func runSweep(args []string) int {
 	fails := fs.String("f", joinInts(def.Failures), "comma-separated failure-count axis (crashes injected; tolerance f = max(1, value))")
 	profiles := fs.String("profiles", strings.Join(def.Profiles, ","), "comma-separated hardware profiles (1995, modern)")
 	styles := fs.String("styles", strings.Join(def.Styles, ","), "comma-separated recovery styles (nonblocking, blocking, manetho)")
+	loads := fs.String("loads", "0", "comma-separated offered-load axis in req/s (0 = closed-loop gossip workload)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	mergeSeeds := fs.Bool("merge-seeds", false, "aggregate all seeds into one cell per configuration (mean plus min/max spread)")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	fs.Parse(args)
 
-	axes, err := parseAxes(*seeds, *ns, *fails, *profiles, *styles)
+	axes, err := parseAxes(*seeds, *ns, *fails, *profiles, *styles, *loads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 2
@@ -198,7 +199,7 @@ func gitRev() string {
 }
 
 // parseAxes converts the comma-separated flag values into a bench.Axes.
-func parseAxes(seeds, ns, fails, profiles, styles string) (bench.Axes, error) {
+func parseAxes(seeds, ns, fails, profiles, styles, loads string) (bench.Axes, error) {
 	var a bench.Axes
 	for _, s := range splitList(seeds) {
 		v, err := strconv.ParseInt(s, 10, 64)
@@ -216,6 +217,9 @@ func parseAxes(seeds, ns, fails, profiles, styles string) (bench.Axes, error) {
 	}
 	a.Profiles = splitList(profiles)
 	a.Styles = splitList(styles)
+	if a.Loads, err = parseInts(loads, "load"); err != nil {
+		return a, err
+	}
 	return a, nil
 }
 

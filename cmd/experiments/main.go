@@ -40,6 +40,7 @@ var registry = []struct {
 	{"D9", "message logging vs coordinated checkpointing", experiments.D9},
 	{"D10", "orphans: FBL vs optimistic logging", experiments.D10},
 	{"D11", "output-commit latency across styles", experiments.D11},
+	{"D12", "open-loop traffic: offered load x style x crash", experiments.D12},
 }
 
 func main() {
@@ -49,7 +50,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file covering the runs (best with a single -only id)")
 	traceSum := flag.Bool("trace-summary", false, "print the per-phase latency summary after the tables")
 	traceBuf := flag.Int("trace-buf", 1<<20, "trace ring capacity in events; older events are evicted when full")
-	tlDir := flag.String("timeline", "", "rerun the D11 crash cell per style with sampling on and write timeline_D11_<style>.{json,csv} into this directory")
+	tlDir := flag.String("timeline", "", "rerun the D11 and D12 crash cells per style with sampling on and write timeline_D1{1,2}_<style>.{json,csv} into this directory")
 	tlEvery := flag.Duration("timeline-interval", timeline.DefaultInterval, "timeline sampling interval (virtual time)")
 	tlCrash := flag.Duration("timeline-crash", 0, "timeline cell crash instant (0: the experiment's 10s)")
 	tlHorizon := flag.Duration("timeline-horizon", 0, "timeline cell horizon (0: the experiment's 25s)")
@@ -134,27 +135,41 @@ func main() {
 	}
 }
 
-// writeTimelines reruns the D11 failure cell per style with a sampler
-// attached and writes one JSON + CSV export pair per style. The exports are
-// byte-deterministic: same seed, interval, and cell → identical files,
-// regardless of host or GOMAXPROCS (the CI timeline-smoke job pins this).
+// writeTimelines reruns the D11 and D12 failure cells per style with a
+// sampler attached and writes one JSON + CSV export pair per style and
+// experiment. The exports are byte-deterministic: same seed, interval, and
+// cell → identical files, regardless of host or GOMAXPROCS (the CI
+// timeline-smoke job pins this).
 func writeTimelines(ctx context.Context, dir string, seed int64, every, crashAt, horizon time.Duration) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
+	}
+	write := func(base string, e *timeline.Export) error {
+		if err := e.WriteFile(base + ".json"); err != nil {
+			return err
+		}
+		if err := e.WriteCSVFile(base + ".csv"); err != nil {
+			return err
+		}
+		fmt.Printf("timeline: %s → %s.{json,csv} (%d ticks, %d markers)\n",
+			e.Meta.Label, base, len(e.Ticks), len(e.Markers))
+		return nil
 	}
 	for _, tl := range experiments.D11Timelines(ctx, seed, every, crashAt, horizon) {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		base := filepath.Join(dir, "timeline_D11_"+tl.Style)
-		if err := tl.Export.WriteFile(base + ".json"); err != nil {
+		if err := write(filepath.Join(dir, "timeline_D11_"+tl.Style), tl.Export); err != nil {
 			return err
 		}
-		if err := tl.Export.WriteCSVFile(base + ".csv"); err != nil {
+	}
+	for _, tl := range experiments.D12Timelines(ctx, seed, every, crashAt, horizon) {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := write(filepath.Join(dir, "timeline_D12_"+tl.Style), tl.Export); err != nil {
 			return err
 		}
-		fmt.Printf("timeline: %s → %s.{json,csv} (%d ticks, %d markers)\n",
-			tl.Export.Meta.Label, base, len(tl.Export.Ticks), len(tl.Export.Markers))
 	}
 	return nil
 }

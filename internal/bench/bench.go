@@ -30,6 +30,7 @@ import (
 	"rollrec/internal/ids"
 	"rollrec/internal/node"
 	"rollrec/internal/recovery"
+	"rollrec/internal/workload"
 )
 
 // styles maps the wire-format style names to recovery styles. Kept in
@@ -83,6 +84,12 @@ type Axes struct {
 	Profiles []string `json:"profiles"`
 	// Styles names recovery styles ("nonblocking", "blocking", "manetho").
 	Styles []string `json:"styles"`
+	// Loads is the offered-load axis in requests per second. 0 (the
+	// default when the axis is empty) runs the classic gossip workload;
+	// a positive load hosts the open-loop multi-tier traffic workload
+	// (DESIGN §12) at that aggregate rate instead, and the cell reports
+	// offered/shed arrivals and client-tier commit latency.
+	Loads []int `json:"loads,omitempty"`
 }
 
 // Params are one cell's coordinates in the grid.
@@ -96,6 +103,8 @@ type Params struct {
 	Failures int     `json:"failures"`
 	Profile  string  `json:"profile"`
 	Style    string  `json:"style"`
+	// Load is the offered load in req/s; 0 selects the gossip workload.
+	Load int `json:"load,omitempty"`
 }
 
 // SeedList returns the seeds the cell covers (at least one).
@@ -115,10 +124,16 @@ func (p Params) seedLabel() string {
 	return strings.Join(parts, "+")
 }
 
-// Key renders the parameter key the cells are sorted by.
+// Key renders the parameter key the cells are sorted by. Load-free cells
+// keep the historical five-part key, so snapshots taken before the loads
+// axis existed stay comparable cell-for-cell.
 func (p Params) Key() string {
-	return fmt.Sprintf("seed=%s/n=%d/f=%d/hw=%s/style=%s",
+	k := fmt.Sprintf("seed=%s/n=%d/f=%d/hw=%s/style=%s",
 		p.seedLabel(), p.N, p.Failures, p.Profile, p.Style)
+	if p.Load > 0 {
+		k += fmt.Sprintf("/load=%d", p.Load)
+	}
+	return k
 }
 
 // normalize sorts and deduplicates one axis in place.
@@ -151,18 +166,24 @@ func normalize[T int | int64 | string](xs []T) []T {
 }
 
 // Cells validates the axes and expands them into the sorted cell list:
-// nested in key order (seed, n, failures, profile, style), which is
-// exactly ascending Params.Key order.
+// nested in coordinate order (seed, n, failures, profile, style, load).
+// For load-free axes this is exactly ascending Params.Key order; a
+// multi-valued loads axis keeps the nesting order even where the key
+// strings would sort "load=1000" before "load=200" lexicographically.
 func (a Axes) Cells() ([]Params, error) {
 	if len(a.Seeds) == 0 || len(a.N) == 0 || len(a.Failures) == 0 ||
 		len(a.Profiles) == 0 || len(a.Styles) == 0 {
 		return nil, fmt.Errorf("bench: every axis needs at least one value, got %+v", a)
+	}
+	if len(a.Loads) == 0 {
+		a.Loads = []int{0}
 	}
 	a.Seeds = normalize(a.Seeds)
 	a.N = normalize(a.N)
 	a.Failures = normalize(a.Failures)
 	a.Profiles = normalize(a.Profiles)
 	a.Styles = normalize(a.Styles)
+	a.Loads = normalize(a.Loads)
 	for _, s := range a.Styles {
 		if _, err := styleOf(s); err != nil {
 			return nil, err
@@ -188,6 +209,24 @@ func (a Axes) Cells() ([]Params, error) {
 			}
 		}
 	}
+	for _, l := range a.Loads {
+		if l < 0 {
+			return nil, fmt.Errorf("bench: offered load %d < 0", l)
+		}
+		if l == 0 {
+			continue
+		}
+		for _, n := range a.N {
+			if _, err := trafficFor(n, l); err != nil {
+				return nil, err
+			}
+			for _, f := range a.Failures {
+				if _, err := trafficVictims(n, f); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	// Merged sweeps fold the whole seed axis into each cell; the nested
 	// loop below then runs once with a single sentinel "seed group".
 	seedGroups := make([][]int64, 0, len(a.Seeds))
@@ -204,11 +243,13 @@ func (a Axes) Cells() ([]Params, error) {
 			for _, f := range a.Failures {
 				for _, hw := range a.Profiles {
 					for _, style := range a.Styles {
-						p := Params{Seed: group[0], N: n, Failures: f, Profile: hw, Style: style}
-						if a.MergeSeeds && len(group) > 1 {
-							p.Seeds = group
+						for _, load := range a.Loads {
+							p := Params{Seed: group[0], N: n, Failures: f, Profile: hw, Style: style, Load: load}
+							if a.MergeSeeds && len(group) > 1 {
+								p.Seeds = group
+							}
+							cells = append(cells, p)
 						}
-						cells = append(cells, p)
 					}
 				}
 			}
@@ -226,10 +267,53 @@ const (
 	crashSpacing = 8 * time.Second
 )
 
+// trafficFor derives a cell's traffic topology from its cluster size:
+// roughly a quarter of the processes each for clients and frontends, the
+// rest backends, fan-out capped at 2 — the same shape D12 uses at n=8.
+func trafficFor(n, load int) (workload.Traffic, error) {
+	clients := max(1, n/4)
+	frontends := max(1, n/4)
+	backends := n - clients - frontends
+	if backends < 1 {
+		return workload.Traffic{}, fmt.Errorf("bench: n=%d too small for a traffic topology (need n >= 3)", n)
+	}
+	return workload.Traffic{
+		Clients:    clients,
+		Frontends:  frontends,
+		Backends:   backends,
+		FanOut:     min(2, backends),
+		Load:       load,
+		WorkPerHop: int64(500 * time.Microsecond),
+		PayloadPad: 256,
+	}, nil
+}
+
+// trafficVictims picks the crash victims of a traffic cell from the
+// backend tail (n-1, n-2, ...): clients must never crash under FBL (see
+// fbl.Process.Inject), and the classic victims 1..f would be clients or
+// frontends in the traffic topology.
+func trafficVictims(n, failures int) ([]ids.ProcID, error) {
+	tr, err := trafficFor(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	if failures > tr.Backends {
+		return nil, fmt.Errorf("bench: %d failures exceed the %d backends of the n=%d traffic topology",
+			failures, tr.Backends, n)
+	}
+	victims := make([]ids.ProcID, failures)
+	for i := range victims {
+		victims[i] = ids.ProcID(n - 1 - i)
+	}
+	return victims, nil
+}
+
 // SpecFor derives the experiment spec for one cell from the same
 // PaperSpec baseline the E/D experiments use. Victims are processes
 // 1..Failures, crashed crashSpacing apart starting at firstCrashAt; the
-// horizon leaves every recovery room to complete.
+// horizon leaves every recovery room to complete. A loaded cell (Load >
+// 0) swaps the gossip workload for the open-loop traffic topology, turns
+// output tracking on, and crashes backends from the tail instead.
 func SpecFor(p Params) (experiments.Spec, error) {
 	style, err := styleOf(p.Style)
 	if err != nil {
@@ -252,11 +336,26 @@ func SpecFor(p Params) (experiments.Spec, error) {
 	if spec.F < 1 {
 		spec.F = 1
 	}
+	victims := func(i int) ids.ProcID { return ids.ProcID(1 + i) }
+	if p.Load > 0 {
+		tr, err := trafficFor(p.N, p.Load)
+		if err != nil {
+			return experiments.Spec{}, err
+		}
+		vs, err := trafficVictims(p.N, p.Failures)
+		if err != nil {
+			return experiments.Spec{}, err
+		}
+		spec.App = nil
+		spec.Traffic = &tr
+		spec.TrackOutputs = true
+		victims = func(i int) ids.ProcID { return vs[i] }
+	}
 	var plan failure.Plan
 	for i := 0; i < p.Failures; i++ {
 		plan = append(plan, failure.Crash{
 			At:   firstCrashAt + time.Duration(i)*crashSpacing,
-			Proc: ids.ProcID(1 + i),
+			Proc: victims(i),
 		})
 	}
 	spec.Crashes = plan

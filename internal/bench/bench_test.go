@@ -361,3 +361,72 @@ func TestMarkdown(t *testing.T) {
 		t.Fatalf("markdown has %d lines, want 3", lines)
 	}
 }
+
+// TestLoadedCellSweep runs one offered-load cell end to end: the key gains
+// the load suffix, the traffic readouts (offered/shed/client_commit) are
+// populated, and a load-free cell from the same binary stays free of them
+// so v2-era snapshots remain byte-comparable.
+func TestLoadedCellSweep(t *testing.T) {
+	axes := Axes{
+		Seeds:    []int64{1},
+		N:        []int{8},
+		Failures: []int{1},
+		Profiles: []string{"1995"},
+		Styles:   []string{"nonblocking"},
+		Loads:    []int{100},
+	}
+	s, err := RunSweep(context.Background(), axes, Options{Workers: 1, Meta: goldenMeta()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(s.Cells))
+	}
+	c := s.Cells[0]
+	if want := "seed=1/n=8/f=1/hw=1995/style=nonblocking/load=100"; c.Key != want {
+		t.Fatalf("cell key %q, want %q", c.Key, want)
+	}
+	if c.Errors != 0 {
+		t.Fatalf("%d invariant violations", c.Errors)
+	}
+	if c.Offered == 0 {
+		t.Error("loaded cell offered no arrivals")
+	}
+	if c.Outputs == 0 {
+		t.Error("loaded cell committed no outputs")
+	}
+	if c.ClientCommit == nil || c.ClientCommit.P99MS <= 0 {
+		t.Errorf("client commit distribution missing or empty: %+v", c.ClientCommit)
+	}
+	if c.Recoveries != 1 {
+		t.Errorf("%d recoveries, want 1", c.Recoveries)
+	}
+}
+
+// TestLoadedAxesValidation: load values must be non-negative and every
+// (n, f) pair must admit a traffic topology.
+func TestLoadedAxesValidation(t *testing.T) {
+	base := Axes{
+		Seeds: []int64{1}, N: []int{8}, Failures: []int{1},
+		Profiles: []string{"1995"}, Styles: []string{"nonblocking"},
+	}
+	neg := base
+	neg.Loads = []int{-1}
+	if _, err := neg.Cells(); err == nil {
+		t.Error("negative load accepted")
+	}
+	// n=2 under load leaves no backend once a client and frontend are carved out.
+	tiny := base
+	tiny.N = []int{2}
+	tiny.Loads = []int{100}
+	if _, err := tiny.Cells(); err == nil {
+		t.Error("n=2 loaded axes accepted despite empty backend tier")
+	}
+	// f larger than the backend tier cannot be assigned victims.
+	overf := base
+	overf.Failures = []int{5}
+	overf.Loads = []int{100}
+	if _, err := overf.Cells(); err == nil {
+		t.Error("f=5 loaded axes accepted despite 4-backend tier")
+	}
+}

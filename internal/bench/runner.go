@@ -8,6 +8,7 @@ import (
 
 	"rollrec/internal/experiments"
 	"rollrec/internal/ids"
+	"rollrec/internal/workload"
 )
 
 // Progress is called (serialized) after each cell completes. done counts
@@ -100,6 +101,8 @@ type seedRun struct {
 	recoveries, blocked, outDeltas []time.Duration
 	ctlMsgs, ctlBytes              int64
 	delivered, simEvents, outputs  int64
+	offered, shed                  int64
+	clientDeltas                   []time.Duration
 	errors                         int
 }
 
@@ -130,11 +133,14 @@ func runCell(ctx context.Context, p Params) (Cell, error) {
 		all.recoveries = append(all.recoveries, run.recoveries...)
 		all.blocked = append(all.blocked, run.blocked...)
 		all.outDeltas = append(all.outDeltas, run.outDeltas...)
+		all.clientDeltas = append(all.clientDeltas, run.clientDeltas...)
 		all.ctlMsgs += run.ctlMsgs
 		all.ctlBytes += run.ctlBytes
 		all.delivered += run.delivered
 		all.simEvents += run.simEvents
 		all.outputs += run.outputs
+		all.offered += run.offered
+		all.shed += run.shed
 		all.errors += run.errors
 	}
 	c := Cell{
@@ -151,6 +157,11 @@ func runCell(ctx context.Context, p Params) (Cell, error) {
 		Outputs:      all.outputs,
 		OutputCommit: distOf(all.outDeltas),
 		Errors:       all.errors,
+	}
+	if p.Load > 0 {
+		c.Offered, c.Shed = all.offered, all.shed
+		d := distOf(all.clientDeltas)
+		c.ClientCommit = &d
 	}
 	if len(runs) > 1 {
 		per := func(f func(seedRun) float64) MinMeanMax {
@@ -202,5 +213,16 @@ func runOne(ctx context.Context, spec experiments.Spec) (seedRun, error) {
 	// byte-comparable with schema-v1 history.
 	run.outputs = int64(r.C.Outputs().Total())
 	run.outDeltas = r.C.Outputs().Deltas()
+	// Loaded cells: the open-loop arrival counts and the client tier's
+	// commit latencies — what a user of the simulated service experiences.
+	if spec.Traffic != nil && r.Traffic != nil {
+		run.offered = r.Traffic.Offered()
+		run.shed = r.Traffic.Shed()
+		for _, rec := range r.C.Outputs().Records() {
+			if spec.Traffic.TierOf(rec.Proc) == workload.TierClient && rec.Committed() {
+				run.clientDeltas = append(run.clientDeltas, rec.Latency())
+			}
+		}
+	}
 	return run, nil
 }

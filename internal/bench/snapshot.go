@@ -18,7 +18,12 @@ import (
 //
 // v2: cells gained output_commit (DESIGN §10) and outputs; merged-seed
 // cells gained params.seeds and across_seeds.
-const SchemaVersion = 2
+//
+// v3: the offered-load axis (DESIGN §12). Loaded cells carry params.load
+// (with a "/load=" key suffix), offered/shed arrival counts, and
+// client_commit — the user-visible commit-latency distribution at the
+// client tier. Load-free cells are byte-identical to their v2 form.
+const SchemaVersion = 3
 
 // Meta describes where a snapshot came from. It is informational only:
 // compare and the golden tests diff axes+cells and ignore Meta, because
@@ -125,6 +130,13 @@ type Cell struct {
 	// default sweep's gossip.
 	Outputs      int64 `json:"outputs"`
 	OutputCommit Dist  `json:"output_commit"`
+	// Offered and Shed count the open-loop arrivals the traffic engine
+	// generated and the ones lost to unavailable clients; ClientCommit is
+	// the client tier's commit-latency distribution — what a user sees.
+	// Only loaded cells (params.load > 0) carry them.
+	Offered      int64 `json:"offered,omitempty"`
+	Shed         int64 `json:"shed,omitempty"`
+	ClientCommit *Dist `json:"client_commit,omitempty"`
 	// Errors counts cross-process invariant violations (expected 0).
 	Errors int `json:"errors"`
 	// AcrossSeeds is the per-seed spread; only merged cells carry it.
@@ -179,9 +191,10 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("bench: snapshot schema %d is newer than this binary's %d; rebuild or regenerate",
 			s.Meta.Schema, SchemaVersion)
 	case s.Meta.Schema < SchemaVersion:
-		// v1 -> v2: every new field (outputs, output_commit, seeds,
-		// across_seeds) is absent in v1 files and zero-valued here, which
-		// is exactly what a v1-era run measured. Stamp and move on.
+		// v1 -> v2 -> v3: every field added since (outputs, output_commit,
+		// seeds, across_seeds, loads, offered, shed, client_commit) is
+		// absent in older files and zero-valued here, which is exactly
+		// what an older run measured. Stamp and move on.
 		s.Meta.Schema = SchemaVersion
 	}
 	return &s, nil
@@ -206,16 +219,20 @@ func ReadFile(path string) (*Snapshot, error) {
 // tables are regenerated by the harness rather than written by hand.
 func Markdown(w io.Writer, s *Snapshot) error {
 	if _, err := fmt.Fprintln(w,
-		"| seed | n | f | hw | style | recovery mean (ms) | p50 | p99 | blocked mean (ms) | p99 | ctl msgs | ctl bytes | sim events |"); err != nil {
+		"| seed | n | f | hw | style | load | recovery mean (ms) | p50 | p99 | blocked mean (ms) | p99 | ctl msgs | ctl bytes | sim events |"); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintln(w,
-		"|---:|---:|---:|:---|:---|---:|---:|---:|---:|---:|---:|---:|---:|"); err != nil {
+		"|---:|---:|---:|:---|:---|---:|---:|---:|---:|---:|---:|---:|---:|---:|"); err != nil {
 		return err
 	}
 	for _, c := range s.Cells {
-		if _, err := fmt.Fprintf(w, "| %s | %d | %d | %s | %s | %.3f | %.3f | %.3f | %.3f | %.3f | %d | %d | %d |\n",
-			c.Params.seedLabel(), c.Params.N, c.Params.Failures, c.Params.Profile, c.Params.Style,
+		load := "-"
+		if c.Params.Load > 0 {
+			load = fmt.Sprintf("%d", c.Params.Load)
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %d | %d | %s | %s | %s | %.3f | %.3f | %.3f | %.3f | %.3f | %d | %d | %d |\n",
+			c.Params.seedLabel(), c.Params.N, c.Params.Failures, c.Params.Profile, c.Params.Style, load,
 			c.Recovery.MeanMS, c.Recovery.P50MS, c.Recovery.P99MS,
 			c.Blocked.MeanMS, c.Blocked.P99MS,
 			c.CtlMsgs, c.CtlBytes, c.SimEvents); err != nil {

@@ -232,6 +232,9 @@ func (c *Cluster) AttachTimeline(col *timeline.Collector) {
 			g.Phase = fblPhase(p)
 			g.Journal = p.DetLogLen()
 			g.Lag = p.DetPending()
+			if a, ok := p.App().(interface{ InflightReqs() int }); ok {
+				g.Inflight = a.InflightReqs()
+			}
 			return g
 		},
 		Metrics: func(i int) *metrics.Proc { return c.K.Metrics(ids.ProcID(i)) },
@@ -285,6 +288,16 @@ func (c *Cluster) ApplyPlan(plan failure.Plan) {
 	for _, cr := range plan.Sorted() {
 		c.Crash(cr.At, cr.Proc)
 	}
+}
+
+// Inject offers an open-loop arrival to process p's application (see
+// fbl.Process.Inject). It reports whether the arrival was admitted; a
+// down, blocked, or recovering process sheds. Injections are only
+// replay-sound on processes that never crash — keep injected processes
+// out of the crash plan (the orphan check catches violations).
+func (c *Cluster) Inject(p ids.ProcID, payload []byte) bool {
+	pr := c.Proc(p)
+	return pr != nil && pr.Inject(payload)
 }
 
 // Proc returns the protocol instance at p, or nil while p is down.

@@ -207,7 +207,7 @@ func d11Coord(ctx context.Context, seed int64, hw node.Hardware, crashAt, horizo
 			default:
 				return timeline.PhaseLive
 			}
-		}, nil)
+		}, nil, nil)
 	}
 	if crashAt > 0 {
 		k.CrashAt(crashAt, 0)
@@ -259,7 +259,7 @@ func d11Optimistic(ctx context.Context, seed int64, hw node.Hardware, crashAt, h
 				return total, total - durable
 			}
 			return 0, 0
-		})
+		}, nil)
 	}
 	if crashAt > 0 {
 		k.CrashAt(crashAt, 0)

@@ -18,6 +18,7 @@ import (
 	"rollrec/internal/recovery"
 	"rollrec/internal/timeline"
 	"rollrec/internal/trace"
+	"rollrec/internal/traffic"
 	"rollrec/internal/wire"
 	"rollrec/internal/workload"
 )
@@ -117,6 +118,14 @@ type Spec struct {
 	// Sampling is observation-only — it changes no event ordering — so a
 	// spec with a collector simulates the exact run it would without one.
 	Timeline *timeline.Collector
+	// Traffic, if non-nil, replaces App with the open-loop multi-tier
+	// serving workload (DESIGN §12): Run hosts traffic.NewApp(*Traffic) and
+	// attaches a traffic.Engine driving seeded arrivals at the client tier
+	// until the horizon. The spec's N must equal Traffic.N(), and — because
+	// this harness hosts the FBL family, whose replay cannot regenerate
+	// injected arrivals — the crash plan must not target the client tier;
+	// Run panics on either misuse. Read the engine back via Result.Traffic.
+	Traffic *workload.Traffic
 }
 
 // PaperSpec is the baseline configuration modeled on the paper's testbed:
@@ -152,7 +161,10 @@ type Result struct {
 	// Events is the number of simulator events processed — the
 	// deterministic cost of simulating the scenario, independent of the
 	// host's wall clock.
-	Events   int64
+	Events int64
+	// Traffic is the arrival engine of a Spec.Traffic run (offered /
+	// admitted / shed readouts); nil otherwise.
+	Traffic  *traffic.Engine
 	recStart map[ids.ProcID]int64
 }
 
@@ -165,13 +177,27 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if tr == nil {
 		tr = DefaultTracer
 	}
+	app := spec.App
+	if spec.Traffic != nil {
+		if spec.Traffic.N() != spec.N {
+			panic(fmt.Sprintf("experiments: traffic topology needs n=%d, spec has n=%d",
+				spec.Traffic.N(), spec.N))
+		}
+		for _, cr := range spec.Crashes {
+			if spec.Traffic.TierOf(cr.Proc) == workload.TierClient {
+				panic(fmt.Sprintf("experiments: crash plan targets client %d; "+
+					"FBL replay cannot regenerate injected arrivals", cr.Proc))
+			}
+		}
+		app = traffic.NewApp(*spec.Traffic)
+	}
 	c := cluster.New(cluster.Config{
 		N:               spec.N,
 		F:               spec.F,
 		Seed:            spec.Seed,
 		HW:              spec.HW,
 		Style:           spec.Style,
-		App:             spec.App,
+		App:             app,
 		CheckpointEvery: spec.CPEvery,
 		StatePad:        spec.Pad,
 		Tracer:          tr,
@@ -181,8 +207,13 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		c.AttachTimeline(spec.Timeline)
 	}
 	c.ApplyPlan(spec.Crashes)
+	var eng *traffic.Engine
+	if spec.Traffic != nil {
+		eng = traffic.NewEngine(*spec.Traffic, spec.Seed)
+		eng.Attach(traffic.Host{At: c.K.At, Inject: c.Inject}, spec.Horizon)
+	}
 	events, err := c.RunContext(ctx, spec.Horizon)
-	r := &Result{C: c, Spec: spec, Events: events}
+	r := &Result{C: c, Spec: spec, Events: events, Traffic: eng}
 	if err != nil {
 		return r, err
 	}

@@ -13,12 +13,14 @@ import (
 )
 
 // attachKernelTimeline binds a collector to a raw kernel + ledger run (the
-// coordinated and optimistic D11 scenarios bypass the cluster harness, so
-// they assemble their probes here). phase maps a process index to its
+// coordinated and optimistic D11/D12 scenarios bypass the cluster harness,
+// so they assemble their probes here). phase maps a process index to its
 // lifecycle phase; journal, if non-nil, supplies the (journal, lag) gauges
-// for styles that keep a volatile log.
+// for styles that keep a volatile log; inflight, if non-nil, supplies the
+// open-request gauge of the traffic workload.
 func attachKernelTimeline(col *timeline.Collector, k *sim.Kernel, led *output.Ledger,
-	n int, phase func(i int) timeline.Phase, journal func(i int) (journal, lag int)) {
+	n int, phase func(i int) timeline.Phase, journal func(i int) (journal, lag int),
+	inflight func(i int) int) {
 	met := func(i int) *metrics.Proc { return k.Metrics(ids.ProcID(i)) }
 	col.Bind(timeline.Probes{
 		Queue: func() (int, int) { return k.QueueDepth(), k.InFlightFrames() },
@@ -32,6 +34,9 @@ func attachKernelTimeline(col *timeline.Collector, k *sim.Kernel, led *output.Le
 			}
 			if journal != nil {
 				g.Journal, g.Lag = journal(i)
+			}
+			if inflight != nil {
+				g.Inflight = inflight(i)
 			}
 			return g
 		},

@@ -7,4 +7,15 @@
 // detect that process q has indeed failed". The detector is deliberately
 // simple — time since last traffic — because its *latency*, not its
 // sophistication, is what dominates the recovery numbers.
+//
+// Injection is the other half: a Plan is a deterministic list of Crash
+// instants (virtual time, per process) that the harness applies before the
+// run starts, so every experiment and bench cell replays the identical
+// failure schedule for a given spec. Plans compose with the open-loop
+// traffic engine (DESIGN §12) under one constraint the experiments package
+// enforces: under FBL, clients must never be crash victims, because client
+// arrivals enter through Inject and bypass sender-based logging — crashing
+// a client would lose arrivals no protocol is expected to recover. D12's
+// crash cells therefore target backend-tier processes, where a crash is
+// user-visible as a client-side release stall rather than lost input.
 package failure

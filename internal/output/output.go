@@ -1,27 +1,3 @@
-// Package output is the output-commit subsystem: it tracks externally-
-// visible output from the moment an application requests its release
-// (workload.Ctx.Output) to the moment the hosting protocol's commit rule
-// is satisfied and the output may actually leave the system.
-//
-// The paper's thesis — stable-storage latency, not message counts,
-// dominates rollback-recovery cost — is ultimately about this commit
-// point: output can only be released once its causal past is guaranteed
-// recoverable. Each protocol style has its own rule (DESIGN §10): FBL
-// commits when every determinant of an antecedent delivery is replicated
-// on f+1 hosts or stable; coordinated checkpointing commits when the
-// output is covered by a committed snapshot epoch; optimistic logging
-// commits when every causally-preceding state interval is logged stable.
-//
-// The Ledger is the harness-side half: protocols call Requested at
-// Output() time and Committed (or CommitUpTo) when their rule fires; the
-// ledger keeps the request→commit virtual-time deltas, feeds them into
-// the per-process metrics histogram and the causal trace (one
-// EvOutputCommit span per output), and exposes deterministic readouts
-// for the experiment tables and bench cells.
-//
-// A Ledger serves one run and is not safe for concurrent use: the
-// simulator is single-threaded, and that is the only runtime wired to
-// it today.
 package output
 
 import (

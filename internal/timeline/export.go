@@ -15,7 +15,11 @@ import (
 // SchemaVersion identifies the export layout. Bump it on any change to the
 // tick row schema or to the meaning of a series; Decode refuses exports
 // newer than this binary (same discipline as bench snapshots).
-const SchemaVersion = 1
+//
+// v2 added the optional per-tier series for the traffic workload
+// (meta.tiers, inflight_req, tier_output). Untiered v2 exports are
+// field-for-field identical to v1, and Decode still accepts v1 files.
+const SchemaVersion = 2
 
 // Marker kinds: the crash and recovery-phase boundaries annotated on the
 // timeline. Renderers and tests match on these strings.
@@ -42,6 +46,9 @@ type Meta struct {
 	Label      string  `json:"label"`
 	IntervalMS float64 `json:"interval_ms"`
 	N          int     `json:"n"`
+	// Tiers is the tier partition of the N processes when the run hosted
+	// the multi-tier traffic workload; absent otherwise.
+	Tiers []int `json:"tiers,omitempty"`
 }
 
 // WindowDist is one tumbling window's latency distribution: the
@@ -75,6 +82,12 @@ type Tick struct {
 	// delivery and output commit respectively.
 	Delivery WindowDist `json:"delivery"`
 	Output   WindowDist `json:"output_commit"`
+	// InflightReq and TierOutput are the per-tier series (indexed like
+	// Meta.Tiers): open requests held by each tier at the sample instant,
+	// and each tier's windowed output-commit percentiles. Present only on
+	// tiered runs.
+	InflightReq []int        `json:"inflight_req,omitempty"`
+	TierOutput  []WindowDist `json:"tier_output,omitempty"`
 }
 
 // Marker is one annotated instant on the timeline.
@@ -167,7 +180,9 @@ func ReadFile(path string) (*Export, error) {
 
 // csvHeader is the CSV column set: one row per tick, cluster-level values
 // (per-process arrays are summed; phases stay packed). CSV is the artifact
-// form — spreadsheet-friendly, still byte-deterministic.
+// form — spreadsheet-friendly, still byte-deterministic. Tiered exports
+// append per-tier columns after these; untiered exports keep exactly this
+// set, so pre-v2 CSV artifacts are byte-stable.
 var csvHeader = []string{
 	"t_ms", "queue", "inflight", "phases",
 	"journal", "lag", "stable_bytes", "backlog", "oldest_open_ms",
@@ -178,7 +193,20 @@ var csvHeader = []string{
 // EncodeCSV writes the cluster-level CSV form.
 func (e *Export) EncodeCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	header := csvHeader
+	if len(e.Meta.Tiers) > 0 {
+		header = append([]string(nil), csvHeader...)
+		for t := range e.Meta.Tiers {
+			header = append(header,
+				fmt.Sprintf("inflight_req_t%d", t),
+				fmt.Sprintf("output_t%d_n", t),
+				fmt.Sprintf("output_t%d_p50_ms", t),
+				fmt.Sprintf("output_t%d_p99_ms", t),
+				fmt.Sprintf("output_t%d_p999_ms", t),
+			)
+		}
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	fms := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
@@ -213,6 +241,21 @@ func (e *Export) EncodeCSV(w io.Writer) error {
 			fms(t.Delivery.P50MS), fms(t.Delivery.P99MS), fms(t.Delivery.P999MS),
 			strconv.FormatInt(t.Output.N, 10),
 			fms(t.Output.P50MS), fms(t.Output.P99MS), fms(t.Output.P999MS),
+		}
+		for ti := range e.Meta.Tiers {
+			var inflight int
+			var dist WindowDist
+			if ti < len(t.InflightReq) {
+				inflight = t.InflightReq[ti]
+			}
+			if ti < len(t.TierOutput) {
+				dist = t.TierOutput[ti]
+			}
+			rec = append(rec,
+				strconv.Itoa(inflight),
+				strconv.FormatInt(dist.N, 10),
+				fms(dist.P50MS), fms(dist.P99MS), fms(dist.P999MS),
+			)
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

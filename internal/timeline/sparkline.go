@@ -178,6 +178,31 @@ func Render(w io.Writer, e *Export, width int) {
 		{"dlv_p99", perTick(ticks, func(t Tick) float64 { return t.Delivery.P99MS })},
 		{"out_p99", perTick(ticks, func(t Tick) float64 { return t.Output.P99MS })},
 	}
+	// Tiered exports (schema v2, DESIGN §12) get one in-flight and one
+	// windowed output-p99 lane per tier, in tier order (t0 is the client
+	// tier under the traffic engine's numbering).
+	for ti := range e.Meta.Tiers {
+		ti := ti
+		lanes = append(lanes,
+			struct {
+				name   string
+				values []float64
+			}{fmt.Sprintf("inflt_t%d", ti), perTick(ticks, func(t Tick) float64 {
+				if ti < len(t.InflightReq) {
+					return float64(t.InflightReq[ti])
+				}
+				return 0
+			})},
+			struct {
+				name   string
+				values []float64
+			}{fmt.Sprintf("outp99_t%d", ti), perTick(ticks, func(t Tick) float64 {
+				if ti < len(t.TierOutput) {
+					return t.TierOutput[ti].P99MS
+				}
+				return 0
+			})})
+	}
 	for _, l := range lanes {
 		var peak float64
 		for _, v := range l.values {

@@ -1,30 +1,3 @@
-// Package timeline is the time-series telemetry subsystem: a deterministic
-// sampler that snapshots per-process and cluster-wide gauges at a fixed
-// virtual-time interval, so the transient phenomena the paper's argument is
-// about — blocked time, orphan rollback, output-commit stalls during a
-// failure — become series over time instead of end-of-run aggregates.
-//
-// The Collector is runtime-agnostic: it never schedules anything itself.
-// A sampler owned by the hosting runtime calls Tick at each boundary — the
-// simulator fires it from inside the event loop at exact virtual-time
-// boundaries without enqueueing events (sim.Kernel.SetSampler), so enabling
-// sampling perturbs neither the event sequence nor the golden trace hash;
-// the livenet runtime drives the same Collector from a wall-clock ticker,
-// making sim and live timelines directly comparable.
-//
-// Sampled series per tick: event-queue depth and in-flight frames (kernel
-// gauges), per-process phase (live/blocked/restoring/recovering/replaying/
-// down), determinant-journal size and stability lag (entries below the f+1
-// holder watermark), stable-storage bytes, output-commit backlog (requested
-// minus released, from the output ledger) with the age of the oldest open
-// output (the series that climbs from a crash until recovery releases the
-// straddlers), and windowed p50/p99/p99.9 of
-// delivery and output-commit latency over tumbling windows (one window per
-// tick, computed as histogram deltas — see trace.Histogram.Delta).
-//
-// Export is schema-versioned, byte-deterministic JSON/CSV in the same
-// discipline as BENCH snapshots; crash and recovery-phase boundaries are
-// annotated as markers synthesized from the per-process recovery traces.
 package timeline
 
 import (
@@ -83,6 +56,11 @@ type ProcGauges struct {
 	// Backlog is the output-commit backlog: outputs requested by this
 	// process whose commit rule has not yet fired.
 	Backlog int
+	// Inflight is the number of open requests this process holds when it
+	// runs the multi-tier traffic workload (admitted-but-unreleased at a
+	// client, fanning-in at a frontend); zero elsewhere. Summed per tier
+	// into the inflight_req series when the collector is tiered.
+	Inflight int
 	// OldestOpen is the virtual instant (ns) the oldest still-open output
 	// was requested, or 0 when none are open. The collector turns it into
 	// the backlog-age series (oldest_open_ms): while the commit rule can
@@ -117,6 +95,11 @@ type Config struct {
 	N int
 	// Label names the run in the export meta.
 	Label string
+	// Tiers, when non-empty, partitions the N processes into consecutive
+	// id ranges (e.g. [2 2 4]: clients, frontends, backends) and turns on
+	// the per-tier series: summed in-flight requests and per-tier windowed
+	// output-commit percentiles. Sizes must be positive and sum to N.
+	Tiers []int
 }
 
 // DefaultInterval is the sampling period the CLIs default to: fine enough
@@ -137,6 +120,10 @@ type Collector struct {
 	// merged across processes.
 	prevDelivery trace.Histogram
 	prevOutput   trace.Histogram
+	prevTierOut  []trace.Histogram
+
+	// tierOf maps a process id to its tier index; nil when untiered.
+	tierOf []int
 }
 
 // New returns an empty collector. Interval must be positive and N at least 1.
@@ -147,7 +134,23 @@ func New(cfg Config) *Collector {
 	if cfg.N < 1 {
 		panic("timeline: collector needs at least one process")
 	}
-	return &Collector{cfg: cfg}
+	c := &Collector{cfg: cfg}
+	if len(cfg.Tiers) > 0 {
+		c.tierOf = make([]int, 0, cfg.N)
+		for t, size := range cfg.Tiers {
+			if size < 1 {
+				panic("timeline: tier sizes must be positive")
+			}
+			for j := 0; j < size; j++ {
+				c.tierOf = append(c.tierOf, t)
+			}
+		}
+		if len(c.tierOf) != cfg.N {
+			panic("timeline: tier sizes must sum to N")
+		}
+		c.prevTierOut = make([]trace.Histogram, len(cfg.Tiers))
+	}
+	return c
 }
 
 // Interval returns the sampling period.
@@ -190,6 +193,9 @@ func (c *Collector) Tick(now int64) {
 	if c.pr.Queue != nil {
 		row.Queue, row.InFlight = c.pr.Queue()
 	}
+	if c.tierOf != nil {
+		row.InflightReq = make([]int, len(c.cfg.Tiers))
+	}
 	phases := make([]byte, c.cfg.N)
 	for i := 0; i < c.cfg.N; i++ {
 		g := ProcGauges{}
@@ -204,18 +210,30 @@ func (c *Collector) Tick(now int64) {
 		if g.OldestOpen > 0 {
 			row.Oldest[i] = ms(time.Duration(now - g.OldestOpen))
 		}
+		if c.tierOf != nil {
+			row.InflightReq[c.tierOf[i]] += g.Inflight
+		}
 	}
 	row.Phases = string(phases)
 
 	// Tumbling windows: merge the cumulative per-process histograms, then
 	// diff against the previous tick's merge. The delta is exactly the
-	// observations recorded inside this window.
+	// observations recorded inside this window. When tiered, the output
+	// histograms are additionally merged per tier so each tier gets its
+	// own windowed commit-latency lane.
 	var delivery, outputs trace.Histogram
+	var tierOut []trace.Histogram
+	if c.tierOf != nil {
+		tierOut = make([]trace.Histogram, len(c.cfg.Tiers))
+	}
 	if c.pr.Metrics != nil {
 		for i := 0; i < c.cfg.N; i++ {
 			if m := c.pr.Metrics(i); m != nil {
 				delivery.Merge(&m.DeliveryHist)
 				outputs.Merge(&m.OutputHist)
+				if c.tierOf != nil {
+					tierOut[c.tierOf[i]].Merge(&m.OutputHist)
+				}
 			}
 		}
 	}
@@ -223,6 +241,13 @@ func (c *Collector) Tick(now int64) {
 	row.Output = windowDist(outputs.Delta(&c.prevOutput))
 	c.prevDelivery = delivery
 	c.prevOutput = outputs
+	if c.tierOf != nil {
+		row.TierOutput = make([]WindowDist, len(c.cfg.Tiers))
+		for t := range tierOut {
+			row.TierOutput[t] = windowDist(tierOut[t].Delta(&c.prevTierOut[t]))
+			c.prevTierOut[t] = tierOut[t]
+		}
+	}
 
 	c.ticks = append(c.ticks, row)
 }
@@ -252,6 +277,7 @@ func (c *Collector) Export() *Export {
 			Label:      c.cfg.Label,
 			IntervalMS: ms(c.cfg.Interval),
 			N:          c.cfg.N,
+			Tiers:      append([]int(nil), c.cfg.Tiers...),
 		},
 		Ticks: append([]Tick(nil), c.ticks...),
 	}

@@ -1,0 +1,93 @@
+package traffic
+
+import (
+	"math/bits"
+
+	"rollrec/internal/workload"
+)
+
+// This file implements the arrival-process samplers under the integer-only
+// determinism rule (DESIGN §12): gaps are computed with integer and
+// fixed-point arithmetic exclusively, never float64 transcendentals. The
+// obvious exponential sampler — -mean * math.Log(u) — is not portable at
+// the bit level: Go explicitly permits fusing a*b+c into FMA instructions
+// (arm64 does, amd64 without FMA does not), so a float implementation of
+// log can round differently across architectures, and one ulp of
+// difference in a single gap reshuffles every subsequent event in the
+// simulation. Byte-identical timelines across hosts are a repo invariant,
+// so the samplers below stay in uint64 land where every machine agrees.
+
+// expGap draws an exponential (Poisson-process) inter-arrival gap with the
+// given mean, in nanoseconds, using von Neumann's 1951 comparison method:
+// draw uniforms U1 >= U2 >= ... until the first ascent at position N; if N
+// is odd accept X = A + U1 (A counts the rejected rounds, each worth one
+// mean), else increment A and retry. P(N odd and U1 <= x) telescopes to
+// 1 - e^-x, so the accepted U1 is Exp(1) on [0,1) and A carries the
+// integer part — no logarithm anywhere, just uint64 comparisons and one
+// 128-bit multiply to scale the fraction by the mean.
+func expGap(rng *workload.PRNG, mean int64) int64 {
+	var a int64
+	for {
+		u1 := rng.Next()
+		prev := u1
+		n := 1
+		for {
+			u := rng.Next()
+			if u > prev {
+				break
+			}
+			prev = u
+			n++
+		}
+		if n%2 == 1 {
+			frac, _ := bits.Mul64(u1, uint64(mean)) // floor(u1 * mean / 2^64)
+			if g := a*mean + int64(frac); g > 0 {
+				return g
+			}
+			return 1
+		}
+		a++
+	}
+}
+
+// paretoGap draws a bounded-Pareto(alpha = 3/2, L, H = 100L) gap whose
+// mean is the given mean: E[X] = 3L(1 - (L/H)^(1/2)) / (1 - (L/H)^(3/2))
+// = 2.703L for H = 100L, so L = mean/2.703. Inversion solves
+// (L/x)^(3/2) = W for a uniform W on [(L/H)^(3/2), 1) — the lower bound
+// renormalizes the truncation — which squares to the cubic (L/x)^3 = W^2,
+// solved by integer bisection on x: with t = (L << 31)/x (the ratio in
+// Q0.31) and w a Q0.31 uniform, accept once t^3 <= w^2 << 31, both sides
+// compared as 128-bit values. Heavy tail, integer-exact, ~27 probes.
+func paretoGap(rng *workload.PRNG, mean int64) int64 {
+	low := mean * 1000 / 2703
+	if low < 1 {
+		low = 1
+	}
+	high := 100 * low
+	const q = int64(1) << 31
+	const wMin = q/1000 + 1 // (L/H)^(3/2) = 10^-3 in Q0.31, rounded up
+	u := int64(rng.Next() >> 33)
+	w := uint64(wMin + ((q-wMin)*u)>>31)
+	w2 := w * w // <= 2^62
+	rhsHi, rhsLo := w2>>33, w2<<31
+	lo, hi := low, high
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		t := uint64((low << 31) / mid)
+		t3Hi, t3Lo := bits.Mul64(t*t, t)
+		if t3Hi < rhsHi || (t3Hi == rhsHi && t3Lo <= rhsLo) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// nextGap dispatches on the spec's arrival process.
+func nextGap(kind workload.Arrival, rng *workload.PRNG, mean int64) int64 {
+	if kind == workload.ArrivalPareto {
+		return paretoGap(rng, mean)
+	}
+	return expGap(rng, mean)
+}

@@ -1,0 +1,53 @@
+package traffic
+
+import (
+	"sort"
+	"time"
+
+	"rollrec/internal/output"
+	"rollrec/internal/workload"
+)
+
+// TierStats is the SLO readout for one tier: how many outputs its
+// processes requested, how many committed within the run, and exact
+// quantiles of the request→commit latency (the per-hop "request to
+// release" time the output ledger measures). The client tier's numbers
+// are the user-visible ones — a client output commits only when the
+// response may actually leave the system under the hosting style's rule.
+type TierStats struct {
+	Tier      workload.Tier
+	Requested int
+	Committed int
+	P50       time.Duration
+	P99       time.Duration
+	P999      time.Duration
+}
+
+// StatsPerTier groups the ledger's committed outputs by tier and returns
+// one TierStats per tier in tier order. Quantiles are exact
+// (sorted-sample index, matching the experiment tables), not estimates.
+func StatsPerTier(led *output.Ledger, spec workload.Traffic) []TierStats {
+	lats := make([][]time.Duration, 3)
+	stats := make([]TierStats, 3)
+	for i := range stats {
+		stats[i].Tier = workload.Tier(i)
+	}
+	for _, rec := range led.Records() {
+		t := spec.TierOf(rec.Proc)
+		stats[t].Requested++
+		if rec.Committed() {
+			stats[t].Committed++
+			lats[t] = append(lats[t], rec.Latency())
+		}
+	}
+	for i, ds := range lats {
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		stats[i].P50 = ds[(len(ds)-1)*50/100]
+		stats[i].P99 = ds[(len(ds)-1)*99/100]
+		stats[i].P999 = ds[(len(ds)-1)*999/1000]
+	}
+	return stats
+}
