@@ -195,8 +195,8 @@ func (a Axes) Cells() ([]Params, error) {
 		}
 	}
 	for _, n := range a.N {
-		if n < 2 || n > cluster.MaxProcs {
-			return nil, fmt.Errorf("bench: cluster size n=%d out of range [2,%d]", n, cluster.MaxProcs)
+		if err := cluster.ValidateN(n); err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
 		}
 	}
 	for _, f := range a.Failures {
@@ -323,8 +323,8 @@ func SpecFor(p Params) (experiments.Spec, error) {
 	if err != nil {
 		return experiments.Spec{}, err
 	}
-	if p.N < 2 || p.N > cluster.MaxProcs {
-		return experiments.Spec{}, fmt.Errorf("bench: cluster size n=%d out of range [2,%d]", p.N, cluster.MaxProcs)
+	if err := cluster.ValidateN(p.N); err != nil {
+		return experiments.Spec{}, fmt.Errorf("bench: %w", err)
 	}
 	if p.Failures < 0 || p.Failures >= p.N {
 		return experiments.Spec{}, fmt.Errorf("bench: failure count %d out of range [0,n) for n=%d", p.Failures, p.N)

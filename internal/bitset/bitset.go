@@ -42,9 +42,11 @@ func (s *Set) Add(i int) {
 		return
 	}
 	w := i / wordBits
-	for len(s.words) <= w {
+	if w >= len(s.words) {
 		//rollvet:allow hotalloc -- growth is bounded by the holder-universe size (n+1 bits) and happens once per set
-		s.words = append(s.words, 0)
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
 	}
 	s.words[w] |= 1 << uint(i%wordBits)
 }
@@ -78,6 +80,21 @@ func (s Set) Count() int {
 	return n
 }
 
+// RunCount returns the number of maximal runs of consecutive set elements.
+// A run starts at every set bit whose predecessor bit is clear; the count is
+// computed word-at-a-time with a carry for runs that straddle word
+// boundaries, so it never allocates. The wire codec uses it to decide when
+// run-length encoding beats the sparse and dense holder representations.
+func (s Set) RunCount() int {
+	n := 0
+	carry := uint64(0)
+	for _, w := range s.words {
+		n += bits.OnesCount64(w &^ (w<<1 | carry))
+		carry = w >> 63
+	}
+	return n
+}
+
 // Empty reports whether the set has no elements.
 func (s Set) Empty() bool {
 	for _, w := range s.words {
@@ -90,8 +107,10 @@ func (s Set) Empty() bool {
 
 // Union merges o into s in place and reports whether s changed.
 func (s *Set) Union(o Set) bool {
-	for len(s.words) < len(o.words) {
-		s.words = append(s.words, 0)
+	if len(s.words) < len(o.words) {
+		grown := make([]uint64, len(o.words))
+		copy(grown, s.words)
+		s.words = grown
 	}
 	changed := false
 	for i, w := range o.words {

@@ -304,3 +304,78 @@ func TestHotOpsDoNotAllocate(t *testing.T) {
 	}
 	_, _, _ = sink, sinkInt, sinkWords
 }
+
+// TestGrowthSingleAllocation pins the n=1024 scaling fix: growing a set to
+// cover element i must cost exactly one backing allocation, not one append
+// per 64-bit word. At a 1024-process universe the old loop performed ~16
+// appends (and up to 16 copies) per fresh holder set.
+func TestGrowthSingleAllocation(t *testing.T) {
+	for _, elem := range []int{0, 63, 64, 1023, 1024, 4096} {
+		allocs := testing.AllocsPerRun(100, func() {
+			var s Set
+			s.Add(elem)
+		})
+		if allocs > 1 {
+			t.Errorf("Add(%d) on a zero set allocates %.1f times, want 1", elem, allocs)
+		}
+		allocs = testing.AllocsPerRun(100, func() {
+			s := FromSlice([]int{0})
+			s.Add(elem)
+		})
+		if allocs > 2 { // FromSlice's word + at most one growth step
+			t.Errorf("grow-to-%d allocates %.1f times, want <= 2", elem, allocs)
+		}
+	}
+	big := New(4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		var s Set
+		s.Union(big)
+	})
+	if allocs > 1 {
+		t.Errorf("Union growth allocates %.1f times, want 1", allocs)
+	}
+}
+
+// TestRunCount checks the word-parallel run counter against a direct scan.
+func TestRunCount(t *testing.T) {
+	cases := []struct {
+		elems []int
+		want  int
+	}{
+		{nil, 0},
+		{[]int{5}, 1},
+		{[]int{5, 6, 7}, 1},
+		{[]int{5, 7}, 2},
+		{[]int{0, 63, 64, 65, 200}, 3},   // run straddles the word boundary
+		{[]int{62, 63, 64, 127, 128}, 2}, // two straddling runs
+		{[]int{0, 1, 2, 3, 1020, 1021, 1023}, 3},
+	}
+	for _, c := range cases {
+		s := FromSlice(c.elems)
+		if got := s.RunCount(); got != c.want {
+			t.Errorf("RunCount(%v) = %d, want %d", c.elems, got, c.want)
+		}
+	}
+}
+
+// TestQuickRunCount cross-checks RunCount against a naive count over Elems.
+func TestQuickRunCount(t *testing.T) {
+	f := func(elems []uint16) bool {
+		var s Set
+		for _, e := range elems {
+			s.Add(int(e))
+		}
+		naive := 0
+		prev := -2
+		for _, e := range s.Elems() {
+			if e != prev+1 {
+				naive++
+			}
+			prev = e
+		}
+		return s.RunCount() == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"rollrec/internal/failure"
@@ -25,7 +26,7 @@ import (
 
 // Config describes a simulated cluster.
 type Config struct {
-	// N is the number of application processes (2..64).
+	// N is the number of application processes (2..MaxProcs).
 	N int
 	// F is the failure budget; F >= N selects the f = n instance.
 	F int
@@ -44,8 +45,23 @@ type Config struct {
 	// Trace, if non-nil, receives event trace lines.
 	Trace io.Writer
 	// Tracer, if non-nil, records structured events and recovery-phase
-	// spans (see internal/trace). Nil disables structured tracing.
+	// spans (see internal/trace). Nil disables structured tracing. With
+	// Shards > 0 the tracer is invoked from shard goroutines and must be
+	// safe for concurrent use (merge lanes per process; see the sharded
+	// golden-trace test for the canonical pattern).
 	Tracer trace.Tracer
+	// Shards > 0 runs the cluster on the sharded conservative-window
+	// scheduler (DESIGN §2) with that many shards instead of the classic
+	// single-heap kernel. Sharded runs also switch the kernel's busy-node
+	// backlog to the FIFO defer queue, so their event interleaving differs
+	// from the classic kernel's (each mode pins its own golden hash);
+	// per-process behavior is byte-identical across shard counts. Mutually
+	// exclusive with Trace, TrackOutputs, and AttachTimeline.
+	Shards int
+	// Fanout > 0 selects the ring-based dissemination protocol mode with
+	// that fanout degree (see fbl.Params.Fanout); 0 is the paper's literal
+	// all-peers broadcast.
+	Fanout int
 	// TrackOutputs wires the output-commit ledger (DESIGN §10) into every
 	// process. Off by default: tracking also changes the piggyback policy
 	// (holder knowledge travels one hop past the stability threshold), so
@@ -54,11 +70,22 @@ type Config struct {
 }
 
 // MaxProcs bounds the cluster size. Holder sets, the wire codec, and the
-// determinant tables are all width-agnostic (multi-word bitsets, length-
-// prefixed arrays), so this is a sanity cap on sweep cost rather than a
-// structural limit; the flat-heap scheduler keeps n in the hundreds
+// determinant tables are all width-agnostic (multi-word bitsets, tagged
+// adaptive holder encodings, length-prefixed arrays), so this is a sanity
+// cap on sweep cost rather than a structural limit; the sharded
+// conservative-window scheduler and the fanout protocol mode keep n=1024
 // tractable (see DESIGN.md §2, §5).
-const MaxProcs = 256
+const MaxProcs = 1024
+
+// ValidateN checks a cluster size against MaxProcs. Every entry point that
+// accepts an n — cluster construction and the bench sweep axes — funnels
+// through this one helper so the limit and its message cannot drift apart.
+func ValidateN(n int) error {
+	if n < 2 || n > MaxProcs {
+		return fmt.Errorf("cluster size n=%d out of range [2,%d]", n, MaxProcs)
+	}
+	return nil
+}
 
 type sendInfo struct {
 	to   ids.ProcID
@@ -73,8 +100,15 @@ type deliverInfo struct {
 // Cluster is a running simulation plus its invariant-checking observers.
 type Cluster struct {
 	cfg  Config
-	K    *sim.Kernel
+	K    sim.Runtime
 	outs *output.Ledger
+
+	// mu serializes the protocol hooks: under the sharded scheduler they
+	// fire from per-shard goroutines, and violations/liveAgain span
+	// processes. The per-process timelines are only ever touched by their
+	// own process's hook, but one lock for all hook state is cheap and
+	// removes the reasoning burden.
+	mu sync.Mutex
 
 	// Harness-side timelines (survive crashes; truncated on OnLive).
 	sends      []map[ids.SSN]sendInfo    // per sender: ssn → send record
@@ -87,8 +121,8 @@ type Cluster struct {
 
 // New builds and boots a cluster.
 func New(cfg Config) *Cluster {
-	if cfg.N < 2 || cfg.N > MaxProcs {
-		panic(fmt.Sprintf("cluster: n=%d out of range [2,%d]", cfg.N, MaxProcs))
+	if err := ValidateN(cfg.N); err != nil {
+		panic("cluster: " + err.Error())
 	}
 	if cfg.F < 1 {
 		cfg.F = 1
@@ -108,11 +142,24 @@ func New(cfg Config) *Cluster {
 		c.seen[i] = make(map[ids.MsgID]ids.RSN)
 	}
 
-	c.K = sim.New(sim.Config{Seed: cfg.Seed, HW: cfg.HW, Trace: cfg.Trace, Tracer: cfg.Tracer})
+	simCfg := sim.Config{Seed: cfg.Seed, HW: cfg.HW, Trace: cfg.Trace, Tracer: cfg.Tracer}
+	if cfg.Shards > 0 {
+		if cfg.Trace != nil {
+			panic("cluster: Trace (text event log) requires the classic kernel; shard goroutines would interleave lines")
+		}
+		if cfg.TrackOutputs {
+			panic("cluster: TrackOutputs requires the classic kernel (Shards=0); the ledger is not shard-safe")
+		}
+		simCfg.FIFODefer = true
+		c.K = sim.NewSharded(simCfg, cfg.Shards)
+	} else {
+		c.K = sim.New(simCfg)
+	}
 	c.outs = output.NewLedger(cfg.N)
 	par := fbl.Params{
 		N:               cfg.N,
 		F:               cfg.F,
+		Fanout:          cfg.Fanout,
 		App:             workload.Seeded(cfg.App, cfg.Seed),
 		Style:           cfg.Style,
 		CheckpointEvery: cfg.CheckpointEvery,
@@ -144,6 +191,8 @@ func New(cfg Config) *Cluster {
 // ssn k supersedes any previously recorded sends at ssn >= k (they belonged
 // to a rolled-back execution).
 func (c *Cluster) onSend(self ids.ProcID, id ids.MsgID, to ids.ProcID, hash uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	tl := c.sends[self]
 	if old, ok := tl[id.SSN]; ok && (old.to != to || old.hash != hash) {
 		// Divergent regeneration: drop the stale tail beyond this point.
@@ -159,6 +208,8 @@ func (c *Cluster) onSend(self ids.ProcID, id ids.MsgID, to ids.ProcID, hash uint
 // onDeliver maintains the receiver's current-timeline delivery history and
 // checks exactly-once within a timeline.
 func (c *Cluster) onDeliver(self ids.ProcID, id ids.MsgID, from ids.ProcID, rsn ids.RSN, hash uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	tl := c.deliveries[self]
 	if old, ok := tl[rsn]; ok && old.msg != id {
 		// A new execution reused this rsn: everything beyond belonged to
@@ -187,6 +238,8 @@ func (c *Cluster) onDeliver(self ids.ProcID, id ids.MsgID, from ids.ProcID, rsn 
 // onLive truncates the harness timelines to the surviving frontier: any
 // send/delivery beyond the post-replay counters was rolled back for good.
 func (c *Cluster) onLive(self ids.ProcID, inc ids.Incarnation, ssn ids.SSN, rsn ids.RSN) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.liveAgain++
 	for s := range c.sends[self] {
 		if s > ssn {
@@ -207,6 +260,9 @@ func (c *Cluster) onLive(self ids.ProcID, inc ids.Incarnation, ssn ids.SSN, rsn 
 // collector leaves the event sequence — and the golden trace hash — exactly
 // as it would be without one. Call before Run; col.N() must equal cfg.N.
 func (c *Cluster) AttachTimeline(col *timeline.Collector) {
+	if c.cfg.Shards > 0 {
+		panic("cluster: timeline capture requires the classic kernel (Shards=0); the sharded scheduler has no cluster-wide sampling instants")
+	}
 	if col.N() != c.cfg.N {
 		panic(fmt.Sprintf("cluster: timeline collector for n=%d attached to n=%d cluster",
 			col.N(), c.cfg.N))

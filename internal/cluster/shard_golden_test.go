@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"rollrec/internal/trace"
+)
+
+// shardedGoldenTraceHash pins the merged per-process event lanes of the
+// seeded two-failure reference run on the sharded conservative-window
+// scheduler. It differs from goldenTraceHash by construction — sharded runs
+// use the FIFO defer queue, and the fold is per-process-lane rather than
+// global arrival order — but it must be byte-identical for EVERY shard
+// count and GOMAXPROCS value: the partitioning may only change wall-clock
+// time, never any process's execution (DESIGN §2). CI runs this under
+// -cpu 1,4 with shard counts {1,4}.
+//
+// Regenerate (only after an intended behavior change) with:
+//
+//	go test ./internal/cluster -run TestShardedGoldenTraceHash -v
+const shardedGoldenTraceHash uint64 = 0x8d3c59124d2c9b9f
+
+// laneTracer adapts hashTracer to sharded runs: one lane per process,
+// merged canonically at the end. Every trace emission in the tree is
+// attributed to the process whose execution produced it, so each lane has
+// exactly one writer at any instant (its owner's shard goroutine within a
+// window, the coordinator between windows) and the window barrier provides
+// the cross-window happens-before — no locking needed. A global
+// arrival-order fold would NOT be shard-count invariant; per-process order
+// is.
+type laneTracer struct {
+	lanes []*hashTracer // index proc+1; lane 0 is the storage pseudo-process
+}
+
+func newLaneTracer(n int) *laneTracer {
+	lt := &laneTracer{lanes: make([]*hashTracer, n+1)}
+	for i := range lt.lanes {
+		lt.lanes[i] = newHashTracer()
+	}
+	return lt
+}
+
+func (lt *laneTracer) lane(proc int32) *hashTracer { return lt.lanes[proc+1] }
+
+func (lt *laneTracer) Enabled() bool { return true }
+
+func (lt *laneTracer) Instant(ts int64, proc int32, name string, tag trace.Tag) {
+	lt.lane(proc).Instant(ts, proc, name, tag)
+}
+
+// Begin tags the lane-local ref with the owning lane so End — the one
+// callback with no proc argument — can route back to it.
+func (lt *laneTracer) Begin(ts int64, proc int32, name string, tag trace.Tag) trace.SpanRef {
+	ref := lt.lane(proc).Begin(ts, proc, name, tag)
+	return trace.SpanRef(uint64(uint32(proc+1))<<32 | uint64(uint32(ref)))
+}
+
+func (lt *laneTracer) End(ref trace.SpanRef, ts int64) {
+	proc := int32(uint32(uint64(ref)>>32)) - 1
+	lt.lane(proc).End(trace.SpanRef(uint32(uint64(ref))), ts)
+}
+
+func (lt *laneTracer) Span(ts, dur int64, proc int32, name string, tag trace.Tag) {
+	lt.lane(proc).Span(ts, dur, proc, name, tag)
+}
+
+// sum folds the lanes in ascending process order into one fingerprint and
+// returns it with the total event count.
+func (lt *laneTracer) sum() (uint64, uint64) {
+	m := newHashTracer()
+	var events uint64
+	for _, l := range lt.lanes {
+		m.mix(l.h, l.seq)
+		events += l.seq
+	}
+	return m.h, events
+}
+
+func shardedGoldenRun(shards int) (*Cluster, *laneTracer) {
+	lt := newLaneTracer(4)
+	cfg := goldenConfig(lt)
+	cfg.Shards = shards
+	c := New(cfg)
+	c.ApplyPlan(goldenPlan())
+	c.Run(goldenHorizon)
+	return c, lt
+}
+
+// TestShardedGoldenTraceHash is the determinism gate for the sharded
+// scheduler: the same seeded two-failure scenario as TestGoldenTraceHash,
+// run with 1 and 4 shards, must produce the committed lane fingerprint both
+// times — proving the event schedule is a function of (seed, scenario)
+// alone, independent of the partitioning and of GOMAXPROCS.
+func TestShardedGoldenTraceHash(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c, lt := shardedGoldenRun(shards)
+			if errs := c.Check(); len(errs) > 0 {
+				t.Fatalf("sharded golden run inconsistent: %v", errs)
+			}
+			h, n := lt.sum()
+			t.Logf("lane fingerprint = %#x over %d trace events", h, n)
+			if h != shardedGoldenTraceHash {
+				t.Fatalf("lane fingerprint = %#x over %d trace events, want %#x\n"+
+					"the sharded event schedule changed; if intended, update shardedGoldenTraceHash",
+					h, n, shardedGoldenTraceHash)
+			}
+		})
+	}
+}

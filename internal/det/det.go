@@ -90,6 +90,14 @@ type Log struct {
 	cfg     Config
 	entries map[ids.MsgID]*Entry
 
+	// byRecv indexes entry ids by the determinant's receiver. ForReceiver,
+	// AllForReceivers, and GCReceiver run per checkpoint notice and per
+	// recovery; without the index each is a scan of the whole log, which
+	// turns quadratic at n=1024 (every notice from every peer walks every
+	// entry). A determinant's receiver never changes, so the index only
+	// updates on insert and GC.
+	byRecv map[ids.ProcID]map[ids.MsgID]struct{}
+
 	// Modification journal: every holder-set change appends the message id
 	// here, so piggyback construction can scan "what changed since I last
 	// sent to this peer" instead of the whole log (which dominates CPU
@@ -97,11 +105,27 @@ type Log struct {
 	// absolute positions (base + offset).
 	journal []ids.MsgID
 	base    int
+
+	// Live pending index: the currently non-stable entries in
+	// first-recorded order, pruned lazily by ScanPending. Per-destination
+	// journal cursors are the wrong shape at large n — a rarely-contacted
+	// destination's cursor makes each transmit to it re-scan every
+	// modification since last contact, so total piggyback cost grows as
+	// destinations × journal growth (quadratic at n=1024). The pending set
+	// itself stays small (entries cross the f+1 threshold within a few
+	// hops), so scanning it whole per transmit is O(pending) flat.
+	pendList []ids.MsgID
+	pendSet  map[ids.MsgID]struct{}
 }
 
 // NewLog returns an empty determinant log for the given configuration.
 func NewLog(cfg Config) *Log {
-	return &Log{cfg: cfg, entries: make(map[ids.MsgID]*Entry)}
+	return &Log{
+		cfg:     cfg,
+		entries: make(map[ids.MsgID]*Entry),
+		byRecv:  make(map[ids.ProcID]map[ids.MsgID]struct{}),
+		pendSet: make(map[ids.MsgID]struct{}),
+	}
 }
 
 // mark appends id to the modification journal consumed by the scan
@@ -218,6 +242,15 @@ func (l *Log) Record(e Entry) error {
 	}
 	cp := e.Clone()
 	l.entries[e.Det.Msg] = &cp
+	if !l.cfg.Stable(cp.Holders) {
+		l.pendAdd(e.Det.Msg)
+	}
+	idx := l.byRecv[e.Det.Receiver]
+	if idx == nil {
+		idx = make(map[ids.MsgID]struct{})
+		l.byRecv[e.Det.Receiver] = idx
+	}
+	idx[e.Det.Msg] = struct{}{}
 	l.mark(e.Det.Msg)
 	return nil
 }
@@ -263,6 +296,38 @@ func (l *Log) PendingIDs(fn func(ids.MsgID)) {
 			fn(id)
 		}
 	}
+}
+
+// pendAdd inserts id into the live pending index if absent.
+//
+//rollvet:hotpath
+func (l *Log) pendAdd(id ids.MsgID) {
+	if _, ok := l.pendSet[id]; ok {
+		return
+	}
+	l.pendSet[id] = struct{}{}
+	//rollvet:allow hotalloc -- index growth is amortized; ScanPending compacts stabilized ids in place
+	l.pendList = append(l.pendList, id)
+}
+
+// ScanPending invokes fn with a copy of every currently-pending entry, in
+// first-recorded order, pruning ids that stabilized or were collected since
+// the last scan. This is the piggyback source for protocol modes without
+// per-destination journal cursors (fanout): cost is O(pending now), not
+// O(modifications since this destination was last contacted).
+func (l *Log) ScanPending(fn func(Entry)) {
+	w := 0
+	for _, id := range l.pendList {
+		e, ok := l.entries[id]
+		if !ok || l.cfg.Stable(e.Holders) {
+			delete(l.pendSet, id)
+			continue
+		}
+		l.pendList[w] = id
+		w++
+		fn(e.Clone())
+	}
+	l.pendList = l.pendList[:w]
 }
 
 // ScanStabilized invokes fn once per message id that was modified at or
@@ -326,12 +391,28 @@ func (l *Log) All() []Entry {
 func (l *Log) ForReceiver(p ids.ProcID, after ids.RSN) []Determinant {
 	var out []Determinant
 	//rollvet:allow maporder -- the sort below totally orders by RSN, which is unique per receiver
-	for _, e := range l.entries {
-		if e.Det.Receiver == p && e.Det.RSN > after {
+	for id := range l.byRecv[p] {
+		if e := l.entries[id]; e.Det.RSN > after {
 			out = append(out, e.Det)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].RSN < out[j].RSN })
+	return out
+}
+
+// AllForReceivers returns every entry recording a delivery at one of the
+// given processes, in deterministic order. Scoped depinfo replies (fanout
+// mode) use it so a live process ships only the determinants the recovering
+// set can actually need, instead of its whole log.
+func (l *Log) AllForReceivers(procs []ids.ProcID) []Entry {
+	var out []Entry
+	for _, p := range procs {
+		//rollvet:allow maporder -- sortEntries below totally orders by the unique MsgID key
+		for id := range l.byRecv[p] {
+			out = append(out, l.entries[id].Clone())
+		}
+	}
+	sortEntries(out)
 	return out
 }
 
@@ -341,9 +422,10 @@ func (l *Log) ForReceiver(p ids.ProcID, after ids.RSN) []Determinant {
 func (l *Log) GCReceiver(p ids.ProcID, upTo ids.RSN) int {
 	n := 0
 	//rollvet:allow maporder -- deletes the value-independent subset (receiver, RSN <= upTo); commutative
-	for id, e := range l.entries {
-		if e.Det.Receiver == p && e.Det.RSN <= upTo {
+	for id := range l.byRecv[p] {
+		if e := l.entries[id]; e.Det.RSN <= upTo {
 			delete(l.entries, id)
+			delete(l.byRecv[p], id)
 			// Journal the removal so ScanStabilized consumers observe it.
 			l.mark(id)
 			n++

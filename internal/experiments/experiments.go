@@ -107,6 +107,16 @@ type Spec struct {
 	Pad     int
 	Crashes failure.Plan
 	Horizon time.Duration
+	// Shards > 0 runs the cluster on the sharded conservative-window
+	// scheduler (DESIGN §2); required for the n=1024 cells. Sharded runs
+	// cannot host Timeline, TrackOutputs, or Traffic (all need the classic
+	// kernel's cluster-wide instants), and DefaultTracer is not attached to
+	// them (it is not safe for shard goroutines); an explicit Tracer must
+	// be concurrency-safe.
+	Shards int
+	// Fanout > 0 selects the ring dissemination protocol mode with that
+	// degree (cluster.Config.Fanout); 0 is the paper's all-peers broadcast.
+	Fanout int
 	// Tracer, if non-nil, records structured events for this run;
 	// DefaultTracer is used when nil.
 	Tracer trace.Tracer
@@ -174,11 +184,15 @@ type Result struct {
 // run is consistent but incomplete) and the error is ctx's.
 func Run(ctx context.Context, spec Spec) (*Result, error) {
 	tr := spec.Tracer
-	if tr == nil {
+	if tr == nil && spec.Shards == 0 {
 		tr = DefaultTracer
 	}
 	app := spec.App
 	if spec.Traffic != nil {
+		if spec.Shards > 0 {
+			panic("experiments: Traffic needs the classic kernel (Shards=0); " +
+				"open-loop injection has no cross-shard ordering")
+		}
 		if spec.Traffic.N() != spec.N {
 			panic(fmt.Sprintf("experiments: traffic topology needs n=%d, spec has n=%d",
 				spec.Traffic.N(), spec.N))
@@ -202,6 +216,8 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		StatePad:        spec.Pad,
 		Tracer:          tr,
 		TrackOutputs:    spec.TrackOutputs,
+		Shards:          spec.Shards,
+		Fanout:          spec.Fanout,
 	})
 	if spec.Timeline != nil {
 		c.AttachTimeline(spec.Timeline)

@@ -17,6 +17,10 @@ type Detector struct {
 	lastHeard    []int64
 	suspected    []bool
 	onSuspect    func(p ids.ProcID)
+	// monitored restricts Tick's silence scan to a subset of peers (the
+	// fanout ring: only processes that actually heartbeat us). nil means
+	// every peer is monitored (all-to-all heartbeats).
+	monitored []ids.ProcID
 }
 
 // NewDetector returns a detector for a cluster of n processes. onSuspect
@@ -46,19 +50,36 @@ func (d *Detector) Heard(p ids.ProcID, now int64) {
 	d.suspected[p] = false
 }
 
+// SetMonitored restricts the silence scan to the given peers (the given
+// order is preserved, keeping suspicion order deterministic). Peers outside the
+// set still clear suspicions via Heard but are never suspected by Tick —
+// under ring heartbeating their silence is expected, not a failure signal.
+func (d *Detector) SetMonitored(ps []ids.ProcID) {
+	d.monitored = append([]ids.ProcID(nil), ps...)
+}
+
 // Tick scans for peers that have been silent longer than the suspicion
 // threshold and fires onSuspect for each new suspicion.
 func (d *Detector) Tick(now int64) {
-	for p := 0; p < d.n; p++ {
-		pid := ids.ProcID(p)
-		if pid == d.self || d.suspected[p] {
-			continue
+	if d.monitored != nil {
+		for _, pid := range d.monitored {
+			d.tick1(pid, now)
 		}
-		if now-d.lastHeard[p] > int64(d.suspectAfter) {
-			d.suspected[p] = true
-			if d.onSuspect != nil {
-				d.onSuspect(pid)
-			}
+		return
+	}
+	for p := 0; p < d.n; p++ {
+		d.tick1(ids.ProcID(p), now)
+	}
+}
+
+func (d *Detector) tick1(pid ids.ProcID, now int64) {
+	if !d.tracks(pid) || d.suspected[pid] {
+		return
+	}
+	if now-d.lastHeard[pid] > int64(d.suspectAfter) {
+		d.suspected[pid] = true
+		if d.onSuspect != nil {
+			d.onSuspect(pid)
 		}
 	}
 }

@@ -122,6 +122,9 @@ func (p *Process) decodeCheckpoint(data []byte) error {
 	app := r.Bytes()
 	for to := 0; to < p.n; to++ {
 		cnt := r.ListLen()
+		if cnt == 0 {
+			continue // keep the lazily-nil map
+		}
 		p.sendLog[to] = make(map[uint64]logRec, cnt)
 		for i := 0; i < cnt && r.Err() == nil; i++ {
 			d := r.U64()
@@ -182,9 +185,14 @@ func (p *Process) doCheckpoint() {
 	// piggyback cursors and (when output tracking is on) the output-commit
 	// scan cursor.
 	minCur := p.dets.Cursor()
-	for _, c := range p.detCursor {
-		if c >= 0 && c < minCur {
-			minCur = c
+	if p.par.Fanout == 0 || p.par.Outputs != nil {
+		// The piggyback cursors only exist on the journal-scan transmit
+		// path; fanout mode scans the live pending index instead, so its
+		// journal has no consumers to hold compaction back.
+		for _, c := range p.detCursor {
+			if c >= 0 && c < minCur {
+				minCur = c
+			}
 		}
 	}
 	if p.par.Outputs != nil && p.outCursor < minCur {
@@ -195,6 +203,9 @@ func (p *Process) doCheckpoint() {
 		p.env.Tracer().End(cpSpan, p.env.Now())
 		p.cpBusy = false
 		p.cpRSN = rsnAt
+		for i, d := range expAt {
+			p.cpExpDseq[i] = uint64(d)
+		}
 		// Outputs captured by the now-durable checkpoint are recoverable
 		// regardless of determinant replication.
 		p.cpOutSeq = outAt
@@ -208,11 +219,21 @@ func (p *Process) doCheckpoint() {
 			CPRsn:         rsnAt,
 			SSNWatermarks: expAt,
 		}
-		for q := 0; q < p.n; q++ {
-			if ids.ProcID(q) == p.env.ID() {
-				continue
+		if p.par.Fanout > 0 {
+			// Fanout mode: the broadcast is O(n²) cluster-wide, so the
+			// notice goes to the ring successors only. Everyone else learns
+			// the watermarks from the CPRsn/CPDseq piggyback on the next
+			// application send (see transmit).
+			for _, q := range p.ring(+1) {
+				p.env.Send(q, notice.Clone())
 			}
-			p.env.Send(ids.ProcID(q), notice.Clone())
+		} else {
+			for q := 0; q < p.n; q++ {
+				if ids.ProcID(q) == p.env.ID() {
+					continue
+				}
+				p.env.Send(ids.ProcID(q), notice.Clone())
+			}
 		}
 		if p.cfg.Manetho() {
 			p.env.Send(ids.StorageProc, notice.Clone())
@@ -258,6 +279,7 @@ func (p *Process) restore() {
 				}
 				p.cpRSN = p.rsn
 				p.cpOutSeq = p.outSeq
+				copy(p.cpExpDseq, p.expDseq)
 			}
 			// No checkpoint: the initial state (fresh app, Start not yet
 			// run) is itself a valid recovery point.

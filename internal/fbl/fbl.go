@@ -53,6 +53,18 @@ type Params struct {
 	StorageFlushEvery time.Duration
 	// SnapshotCPUPerByte charges checkpoint serialization cost.
 	SnapshotCPUPerByte time.Duration
+	// Fanout bounds per-process control traffic for large clusters. 0 (the
+	// default) keeps the paper's all-to-all behavior: heartbeats and
+	// checkpoint notices go to every peer. A positive k switches to a ring
+	// scheme: heartbeats go to the k ring successors only (and the failure
+	// detector monitors the k ring predecessors), checkpoint notices are
+	// ring-scoped, and their garbage-collection content instead piggybacks
+	// on application sends (CPRsn/CPDseq), so GC information still reaches
+	// exactly the peers that hold state for us. Recovery announcements and
+	// replay requests stay broadcast, and depinfo gathers become scoped to
+	// the recovering members. Fanout 0 is byte-identical to the pre-fanout
+	// protocol.
+	Fanout int
 	// Outputs receives the output-commit lifecycle (nil disables tracking;
 	// Ctx.Output is then a no-op).
 	Outputs output.Sink
@@ -153,6 +165,13 @@ type Process struct {
 
 	dets  *det.Log
 	cpRSN ids.RSN // delivery watermark covered by the last durable checkpoint
+	// cpExpDseq is the per-sender consumed watermark as of the last durable
+	// checkpoint (the same snapshot a checkpoint notice's SSNWatermarks
+	// carries). Fanout mode piggybacks it on application sends so receivers
+	// can prune their send logs without a broadcast notice. It must never
+	// track the live expDseq: a watermark beyond the durable checkpoint
+	// would let senders drop messages we still need for replay.
+	cpExpDseq []uint64
 
 	// detSent estimates, per destination, which determinant copies the
 	// destination already stores (keyed by message, valued by a fingerprint
@@ -226,25 +245,29 @@ func (p *Process) Boot(env node.Env, restart bool) {
 	p.dets = det.NewLog(p.cfg)
 	p.dseqOut = make([]uint64, p.n)
 	p.expDseq = make([]uint64, p.n)
+	p.cpExpDseq = make([]uint64, p.n)
+	// The per-destination maps are allocated lazily (sendLogFor and friends):
+	// at n=1024 the eager 3n maps per process cost ~3M allocations per boot
+	// cluster-wide, almost all for peers a process never exchanges traffic
+	// with.
 	p.sendLog = make([]map[uint64]logRec, p.n)
 	p.oooBuf = make([]map[uint64]*wire.Envelope, p.n)
 	p.detSent = make([]map[ids.MsgID]uint64, p.n)
 	p.detCursor = make([]int, p.n)
 	p.replayServed = make([]servedMark, p.n)
 	p.outWaiters = make(map[ids.MsgID][]*outWait)
-	for i := 0; i < p.n; i++ {
-		p.sendLog[i] = make(map[uint64]logRec)
-		p.oooBuf[i] = make(map[uint64]*wire.Envelope)
-		p.detSent[i] = make(map[ids.MsgID]uint64)
-	}
 	p.app = p.par.App(env.ID(), p.n)
 	p.mgr = recovery.NewManager(recovery.Config{
-		Style:      p.par.Style,
-		F:          p.par.F,
-		RetryEvery: p.par.RetryEvery,
+		Style:        p.par.Style,
+		F:            p.par.F,
+		RetryEvery:   p.par.RetryEvery,
+		ScopedGather: p.par.Fanout > 0,
 	}, p, env)
 	p.detect = failure.NewDetector(env.ID(), p.n, p.par.SuspectAfter, env.Now(),
 		func(q ids.ProcID) { p.mgr.OnSuspect(q) })
+	if p.par.Fanout > 0 {
+		p.detect.SetMonitored(p.ring(-1))
+	}
 	p.startTimers()
 
 	if !restart {
@@ -261,15 +284,62 @@ func (p *Process) Boot(env node.Env, restart bool) {
 	p.restore()
 }
 
+// ring returns the Fanout-sized ring neighborhood of this process: the
+// successors (self+1, self+2, …) mod n for dir=+1, the predecessors for
+// dir=-1. With Fanout >= n-1 (or 0) it degenerates to every peer.
+func (p *Process) ring(dir int) []ids.ProcID {
+	k := p.par.Fanout
+	if k <= 0 || k > p.n-1 {
+		k = p.n - 1
+	}
+	out := make([]ids.ProcID, 0, k)
+	self := int(p.env.ID())
+	for i := 1; i <= k; i++ {
+		out = append(out, ids.ProcID(((self+dir*i)%p.n+p.n)%p.n))
+	}
+	return out
+}
+
+// sendLogFor, oooBufFor and detSentFor lazily allocate the per-destination
+// maps; see Boot.
+func (p *Process) sendLogFor(to ids.ProcID) map[uint64]logRec {
+	if p.sendLog[to] == nil {
+		p.sendLog[to] = make(map[uint64]logRec)
+	}
+	return p.sendLog[to]
+}
+
+func (p *Process) oooBufFor(from ids.ProcID) map[uint64]*wire.Envelope {
+	if p.oooBuf[from] == nil {
+		p.oooBuf[from] = make(map[uint64]*wire.Envelope)
+	}
+	return p.oooBuf[from]
+}
+
+func (p *Process) detSentFor(to ids.ProcID) map[ids.MsgID]uint64 {
+	if p.detSent[to] == nil {
+		p.detSent[to] = make(map[ids.MsgID]uint64)
+	}
+	return p.detSent[to]
+}
+
 func (p *Process) startTimers() {
 	var beat func()
 	beat = func() {
 		hb := &wire.Envelope{Kind: wire.KindHeartbeat, FromInc: p.inc}
-		for q := 0; q < p.n; q++ {
-			if ids.ProcID(q) == p.env.ID() {
-				continue
+		if p.par.Fanout > 0 {
+			// Ring heartbeats: each process pings its k successors, so each
+			// is monitored by its k predecessors.
+			for _, q := range p.ring(+1) {
+				p.env.Send(q, hb.Clone())
 			}
-			p.env.Send(ids.ProcID(q), hb.Clone())
+		} else {
+			for q := 0; q < p.n; q++ {
+				if ids.ProcID(q) == p.env.ID() {
+					continue
+				}
+				p.env.Send(ids.ProcID(q), hb.Clone())
+			}
 		}
 		p.detect.Tick(p.env.Now())
 		p.env.After(p.par.HeartbeatEvery, beat)
@@ -322,6 +392,9 @@ func (p *Process) Deliver(e *wire.Envelope) {
 	if e.Kind == wire.KindApp && len(e.Dets) > 0 {
 		p.absorbDets(e.Dets)
 	}
+	if e.Kind == wire.KindApp && p.par.Fanout > 0 {
+		p.applyPiggybackGC(e)
+	}
 
 	switch e.Kind {
 	case wire.KindApp:
@@ -344,6 +417,26 @@ func (p *Process) Deliver(e *wire.Envelope) {
 	// Holder knowledge only grows on the receive path, so this is the one
 	// place pending outputs can become committable.
 	p.checkOutputs()
+}
+
+// applyPiggybackGC consumes the checkpoint watermarks riding on a fanout-
+// mode application frame: the sender's determinants up to its checkpointed
+// RSN are replay-dead, and our logged messages it had consumed by that
+// checkpoint will never be re-requested. Both are the exact operations a
+// broadcast checkpoint notice performs, delivered point-to-point instead.
+func (p *Process) applyPiggybackGC(e *wire.Envelope) {
+	if e.CPRsn > 0 {
+		p.dets.GCReceiver(e.From, e.CPRsn)
+	}
+	if e.CPDseq > 0 && e.From.Valid(p.n) && !e.From.IsStorage() {
+		log := p.sendLog[e.From]
+		//rollvet:allow maporder -- deletes the value-independent prefix d <= wm; commutative
+		for d := range log {
+			if d <= e.CPDseq {
+				delete(log, d)
+			}
+		}
+	}
 }
 
 // absorbDets merges piggybacked determinant entries and marks ourselves as
@@ -386,7 +479,7 @@ func (p *Process) deliverNow(e *wire.Envelope) {
 		p.env.Metrics().Duplicate++
 		return
 	case e.Dseq > exp+1:
-		p.oooBuf[from][e.Dseq] = e
+		p.oooBufFor(e.From)[e.Dseq] = e
 		return
 	}
 	p.consume(e, 0)
@@ -441,7 +534,7 @@ func (p *Process) consume(e *wire.Envelope, forcedRSN ids.RSN) {
 func (p *Process) learnIncarnation(q ids.ProcID, inc ids.Incarnation) {
 	if p.incVec.Bump(q, inc) {
 		if q >= 0 && int(q) < p.n {
-			p.detSent[q] = make(map[ids.MsgID]uint64)
+			p.detSent[q] = nil  // reset; reallocated lazily on the next send
 			p.detCursor[q] = -1 // offer everything pending again
 		}
 	}

@@ -31,7 +31,7 @@ func (c appCtx) Send(to ids.ProcID, payload []byte) {
 	p.dseqOut[to]++
 	dseq := p.dseqOut[to]
 	cp := append([]byte(nil), payload...)
-	p.sendLog[to][dseq] = logRec{ssn: p.ssn, payload: cp}
+	p.sendLogFor(to)[dseq] = logRec{ssn: p.ssn, payload: cp}
 	id := ids.MsgID{Sender: p.env.ID(), SSN: p.ssn}
 	if p.par.Hooks.OnSend != nil {
 		p.par.Hooks.OnSend(p.env.ID(), id, to, hashBytes(cp))
@@ -61,7 +61,7 @@ func holderFingerprint(e det.Entry) uint64 {
 // the propagation of a receipt order "as soon as it has been recorded in
 // f+1 hosts".
 func (p *Process) transmit(to ids.ProcID, dseq uint64, rec logRec) {
-	sent := p.detSent[to]
+	sent := p.detSentFor(to)
 	var piggy []det.Entry
 	consider := func(e det.Entry) {
 		fp := holderFingerprint(e)
@@ -71,7 +71,15 @@ func (p *Process) transmit(to ids.ProcID, dseq uint64, rec logRec) {
 		sent[e.Det.Msg] = fp
 		piggy = append(piggy, e)
 	}
-	if p.detCursor[to] < 0 {
+	if p.par.Fanout > 0 && p.par.Outputs == nil {
+		// Fanout mode drops the per-destination journal cursors: with O(n)
+		// destinations each contacted rarely, every transmit would re-scan
+		// the whole modification history since last contact — quadratic at
+		// n=1024. The live pending set is small (entries stabilize within a
+		// few hops) and the detSent fingerprints still deduplicate offers,
+		// so scanning it whole is both flat-cost and offer-equivalent.
+		p.dets.ScanPending(consider)
+	} else if p.detCursor[to] < 0 {
 		// The peer reincarnated: offer every pending determinant once.
 		for _, e := range p.dets.Pending() {
 			consider(e)
@@ -86,19 +94,43 @@ func (p *Process) transmit(to ids.ProcID, dseq uint64, rec logRec) {
 	} else {
 		p.detCursor[to] = p.dets.ScanPendingModified(p.detCursor[to], consider)
 	}
+	if p.par.Fanout > 0 {
+		// The FBL sender-side estimate (§2.1): piggybacking a determinant
+		// to a destination makes that destination a holder, so count it now
+		// and stop propagating once the estimate reaches f+1. Without this,
+		// a copy's holder view stalls below the threshold forever (stable
+		// copies are never re-piggybacked, so nobody echoes the knowledge
+		// back) and every process keeps offering every determinant it saw
+		// until checkpoint GC — the piggyback volume that made n=1024
+		// unaffordable. The estimate is optimistic about in-flight copies,
+		// which is exactly the paper's stated trade; the cluster's orphan
+		// checker guards the invariant in every scenario we run.
+		for i := range piggy {
+			p.dets.AddHolder(piggy[i].Det.Msg, to)
+		}
+	}
 	met := p.env.Metrics()
 	met.PiggybackDets += int64(len(piggy))
 	for i := range piggy {
 		met.PiggybackBytes += int64(32 + 8*len(piggy[i].Holders.Words()))
 	}
-	p.env.Send(to, &wire.Envelope{
+	e := &wire.Envelope{
 		Kind:    wire.KindApp,
 		FromInc: p.inc,
 		SSN:     rec.ssn,
 		Dseq:    dseq,
 		Payload: rec.payload,
 		Dets:    piggy,
-	})
+	}
+	if p.par.Fanout > 0 {
+		// Fanout mode replaces broadcast checkpoint notices with this
+		// piggyback: the receiver garbage-collects our determinants up to
+		// CPRsn and its send log for us up to CPDseq — the checkpoint-time
+		// watermarks, never the live counters (see cpExpDseq).
+		e.CPRsn = p.cpRSN
+		e.CPDseq = p.cpExpDseq[to]
+	}
+	p.env.Send(to, e)
 }
 
 // serveReplay answers a recovering process's retransmission request: resend

@@ -55,12 +55,20 @@ func (s *StorageNode) Deliver(e *wire.Envelope) {
 		})
 	case wire.KindDepRequest:
 		// The storage process is one of the hosts the leader gathers from.
+		// A scoped request (fanout mode) names the recovering members; only
+		// their determinants matter for replay.
+		var dets []det.Entry
+		if len(e.Members) > 0 {
+			dets = s.dets.AllForReceivers(e.Members)
+		} else {
+			dets = s.dets.All()
+		}
 		s.env.Send(e.From, &wire.Envelope{
 			Kind:    wire.KindDepReply,
 			FromInc: 1,
 			Ord:     e.Ord,
 			Round:   e.Round,
-			Dets:    s.dets.All(),
+			Dets:    dets,
 		})
 	case wire.KindCheckpointNotice:
 		s.dets.GCReceiver(e.From, e.CPRsn)

@@ -3,6 +3,7 @@ package recovery
 import (
 	"fmt"
 
+	"rollrec/internal/det"
 	"rollrec/internal/ids"
 	"rollrec/internal/wire"
 )
@@ -138,13 +139,22 @@ func (m *Manager) onDepRequest(e *wire.Envelope) {
 	// without blocking anybody (§3.3).
 	m.host.MergeIncVec(e.IncVec)
 
+	// A request naming its recovering members asks for a scoped reply:
+	// only determinants those members will replay.
+	depinfo := func() []det.Entry {
+		if len(e.Members) > 0 {
+			return m.host.DepInfoFor(e.Members)
+		}
+		return m.host.DepInfo()
+	}
+
 	reply := func() {
 		m.env.Send(e.From, &wire.Envelope{
 			Kind:    wire.KindDepReply,
 			FromInc: m.selfInc(),
 			Ord:     e.Ord,
 			Round:   e.Round,
-			Dets:    m.host.DepInfo(),
+			Dets:    depinfo(),
 		})
 	}
 
@@ -159,7 +169,7 @@ func (m *Manager) onDepRequest(e *wire.Envelope) {
 		// Manetho requires the reply recorded on stable storage before it
 		// is sent; the synchronous write stalls the reply (and lengthens
 		// everyone's gather).
-		sz := len(m.host.DepInfo()) * 32
+		sz := len(depinfo()) * 32
 		m.host.StableReplyWrite(e.Ord, sz, reply)
 	default:
 		panic(fmt.Sprintf("recovery: unknown style %v", m.cfg.Style))

@@ -90,6 +90,18 @@ func newFakeHost(n int) *fakeHost {
 }
 
 func (h *fakeHost) DepInfo() []det.Entry { return h.dep }
+func (h *fakeHost) DepInfoFor(procs []ids.ProcID) []det.Entry {
+	var out []det.Entry
+	for _, e := range h.dep {
+		for _, p := range procs {
+			if e.Det.Receiver == p {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
 func (h *fakeHost) MergeIncVec(v []ids.Incarnation) {
 	h.incVec.Merge(vclock.FromSlice(v))
 }

@@ -51,6 +51,15 @@ type Config struct {
 	// MaxEvents bounds the total number of processed events as a runaway
 	// guard; zero selects a generous default.
 	MaxEvents int64
+	// FIFODefer selects the FIFO busy-deferral queue: frames and callbacks
+	// that find the receiver busy join a per-node queue drained one item per
+	// wake event, instead of being re-pushed into the heap at busyUntil.
+	// Re-pushing is quadratic in the number of simultaneously deferred
+	// items (each pop re-pushes while the backlog drains), which dominates
+	// event counts at n=1024; the FIFO queue is linear. The deferral
+	// *ordering* differs from the classic re-push scheduler, so the flag is
+	// opt-in: the small-n golden traces pin the classic order.
+	FIFODefer bool
 }
 
 const defaultMaxEvents = 200_000_000
@@ -69,6 +78,9 @@ const (
 	// evDeliver is a frame whose delivery was deferred because the
 	// receiver was busy; epoch-guarded like exec.
 	evDeliver
+	// evWake drains one item from a node's FIFO deferral queue
+	// (Config.FIFODefer); epoch-guarded like exec.
+	evWake
 )
 
 // event is one scheduled callback slot; seq breaks ties deterministically.
@@ -129,6 +141,14 @@ type Kernel struct {
 	samplerEvery int64
 	samplerNext  int64
 	samplerFn    func(now int64)
+
+	// Sharded-mode hooks (see shard.go). arrivalSink, when non-nil,
+	// intercepts every scheduled arrival instead of enqueueing it locally:
+	// the coordinator buffers it and injects it into the owning shard at the
+	// next window boundary. nOverride makes nodeState.N() report the full
+	// cluster size when this kernel owns only a shard of it.
+	arrivalSink func(at int64, from, to ids.ProcID, frame []byte, sentAt int64)
+	nOverride   int
 }
 
 // New returns a kernel with no nodes.
@@ -221,6 +241,17 @@ func (k *Kernel) fireSampler(upto int64) {
 
 // Net exposes the network model for partition injection and counters.
 func (k *Kernel) Net() *netmodel.Network { return k.net }
+
+// peekNextAt reports the virtual time of the earliest queued event, if any.
+// The sharded coordinator uses it to fast-forward over empty windows;
+// cancelled-timer credits are ignored (nothing executes at a credit, and
+// RunContext accounts for every credit inside the window it runs).
+func (k *Kernel) peekNextAt() (int64, bool) {
+	if len(k.heap) == 0 {
+		return 0, false
+	}
+	return k.slots[k.heap[0]].at, true
+}
 
 // node returns the state of id, panicking on unknown ids: asking for the
 // metrics or storage of a node that was never added is a harness bug, and
@@ -569,6 +600,8 @@ func (k *Kernel) RunContext(ctx context.Context, until time.Duration) (int64, er
 			}
 		case evDeliver:
 			k.deliver(e.ns, e.frame, e.epoch)
+		case evWake:
+			k.wake(e.ns, e.epoch)
 		}
 		processed++
 		k.countEvent()
@@ -616,6 +649,11 @@ func (k *Kernel) Crash(id ids.ProcID) {
 	ns.epoch++
 	ns.proc = nil
 	ns.busyUntil = 0
+	// The FIFO deferral queue is volatile process state; any armed wake
+	// event is neutralized by the epoch bump.
+	ns.defq = nil
+	ns.defHead = 0
+	ns.wakeArmed = false
 	ns.met.BlockEnd(k.now) // a dead process is not "blocked"
 	ns.met.Recoveries = append(ns.met.Recoveries, metrics.RecoveryTrace{CrashedAt: k.now})
 	restartAt := k.now + int64(k.cfg.HW.WatchdogDetect) + int64(k.cfg.HW.RestartDelay)
@@ -651,6 +689,14 @@ func (k *Kernel) tracef(format string, args ...any) {
 	}
 }
 
+// defItem is one entry of the FIFO busy-deferral queue: either a deferred
+// frame delivery (frame set) or a deferred callback (fn set).
+type defItem struct {
+	epoch uint64
+	fn    func()
+	frame []byte
+}
+
 // nodeState implements node.Env for one node.
 type nodeState struct {
 	k         *Kernel
@@ -664,12 +710,28 @@ type nodeState struct {
 	rng       *rand.Rand
 	met       *metrics.Proc
 	downSpan  trace.SpanRef // open crash→restart span
+
+	// FIFO busy-deferral queue (Config.FIFODefer); defHead indexes the next
+	// item so draining is O(1) per item without reslicing the backing array
+	// away from reuse.
+	defq      []defItem
+	defHead   int
+	wakeArmed bool
 }
 
 var _ node.Env = (*nodeState)(nil)
 
-func (ns *nodeState) ID() ids.ProcID         { return ns.id }
-func (ns *nodeState) N() int                 { return ns.k.nApp }
+func (ns *nodeState) ID() ids.ProcID { return ns.id }
+
+// N reports the application cluster size: the nodes of this kernel, unless
+// the kernel is one shard of a larger cluster (see Sharded), in which case
+// the coordinator's override reports the full size.
+func (ns *nodeState) N() int {
+	if ns.k.nOverride > 0 {
+		return ns.k.nOverride
+	}
+	return ns.k.nApp
+}
 func (ns *nodeState) Now() int64             { return ns.k.now }
 func (ns *nodeState) Rand() *rand.Rand       { return ns.rng }
 func (ns *nodeState) Metrics() *metrics.Proc { return ns.met }
@@ -709,6 +771,13 @@ func (ns *nodeState) Send(to ids.ProcID, e *wire.Envelope) {
 		return
 	}
 	k := ns.k
+	if k.arrivalSink != nil {
+		// Sharded mode: every arrival — same-shard ones included, so the
+		// destination's arrival sequence numbers are independent of the
+		// partitioning — is buffered and injected at the window boundary.
+		k.arrivalSink(at, ns.id, to, frame, k.now)
+		return
+	}
 	k.scheduleArrive(at, k.nodes[to], frame, k.now)
 }
 
@@ -732,7 +801,11 @@ func (k *Kernel) deliver(ns *nodeState, frame []byte, epoch uint64) {
 		return
 	}
 	if ns.busyUntil > k.now {
-		k.scheduleDeliver(ns.busyUntil, ns, frame, epoch)
+		if k.cfg.FIFODefer {
+			ns.deferItem(defItem{epoch: epoch, frame: frame})
+		} else {
+			k.scheduleDeliver(ns.busyUntil, ns, frame, epoch)
+		}
 		return
 	}
 	e, err := wire.Decode(frame)
@@ -756,10 +829,75 @@ func (ns *nodeState) exec(epoch uint64, fn func()) {
 		return
 	}
 	if ns.busyUntil > ns.k.now {
-		ns.k.scheduleExec(ns.busyUntil, ns, epoch, fn)
+		if ns.k.cfg.FIFODefer {
+			ns.deferItem(defItem{epoch: epoch, fn: fn})
+		} else {
+			ns.k.scheduleExec(ns.busyUntil, ns, epoch, fn)
+		}
 		return
 	}
 	fn()
+}
+
+// deferItem appends to the FIFO deferral queue and makes sure a wake event
+// is pending at the time the node becomes free.
+func (ns *nodeState) deferItem(it defItem) {
+	//rollvet:allow hotalloc -- queue growth is amortized and bounded by the peak deferred backlog; the drained queue's backing array is reused
+	ns.defq = append(ns.defq, it)
+	ns.armWake()
+}
+
+// armWake schedules the next FIFO drain at busyUntil, at most one pending
+// wake per node.
+func (ns *nodeState) armWake() {
+	if ns.wakeArmed {
+		return
+	}
+	ns.wakeArmed = true
+	k := ns.k
+	i := k.newEvent(ns.busyUntil)
+	s := &k.slots[i]
+	s.kind = evWake
+	s.ns = ns
+	s.epoch = ns.epoch
+	k.push(i)
+}
+
+// wake drains exactly one FIFO-deferred item: processing it makes the node
+// busy again, so the queue re-arms for the new busyUntil rather than
+// burning through the backlog at one virtual instant. One item per event
+// keeps deferral linear where the re-push scheduler is quadratic.
+func (k *Kernel) wake(ns *nodeState, epoch uint64) {
+	if ns.epoch != epoch || !ns.up {
+		return
+	}
+	ns.wakeArmed = false
+	if ns.defHead >= len(ns.defq) {
+		ns.defq = ns.defq[:0]
+		ns.defHead = 0
+		return
+	}
+	if ns.busyUntil > k.now {
+		// Something else (a direct exec at an earlier seq, say) consumed CPU
+		// since this wake was armed; try again when the node is free.
+		ns.armWake()
+		return
+	}
+	it := ns.defq[ns.defHead]
+	ns.defq[ns.defHead] = defItem{} // release the frame/closure for the GC
+	ns.defHead++
+	if ns.defHead == len(ns.defq) {
+		ns.defq = ns.defq[:0]
+		ns.defHead = 0
+	}
+	if it.fn != nil {
+		ns.exec(it.epoch, it.fn)
+	} else {
+		k.deliver(ns, it.frame, it.epoch)
+	}
+	if len(ns.defq) > ns.defHead {
+		ns.armWake()
+	}
 }
 
 // simTimer is a cancellable handle onto a queued evExec slot. gen detects

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"rollrec/internal/bitset"
 	"rollrec/internal/det"
@@ -11,10 +12,27 @@ import (
 )
 
 // codecVersion is bumped on any incompatible format change.
-const codecVersion = 1
+//
+// Version history:
+//
+//	v1 — original format. Determinant holder sets were written as a u8
+//	     word count followed by dense 64-bit words, which silently
+//	     truncated any set spanning more than 255 words (n > ~16k) and
+//	     wasted bytes on sparse sets at large n.
+//	v2 — tagged holder-set encodings (dense-u8 / sparse-u16 / run-length /
+//	     dense-u16, chosen adaptively by encoded size) plus the CPDseq and
+//	     Members envelope fields. Sets spanning at most four words keep the
+//	     exact v1 byte layout, so every frame a pre-v2 build could emit at
+//	     n <= 256 is unchanged. Decode still accepts v1 frames (old golden
+//	     traces remain readable); Encode always emits v2.
+const (
+	codecVersion     = 2
+	minDecodeVersion = 1
+)
 
 // maxListLen bounds every decoded list length to catch corrupted frames
-// before they trigger huge allocations.
+// before they trigger huge allocations. Encode enforces the same bound, so
+// an encodable frame is always decodable.
 const maxListLen = 1 << 22
 
 // Sentinel decoding errors.
@@ -23,6 +41,23 @@ var (
 	ErrBadVersion = errors.New("wire: unknown codec version")
 	ErrBadKind    = errors.New("wire: unknown envelope kind")
 	ErrOversized  = errors.New("wire: list length exceeds limit")
+	ErrBadHolders = errors.New("wire: bad holder-set encoding")
+	// ErrRange is returned by EncodeChecked when a count or id does not fit
+	// its wire representation; the pre-v2 codec silently truncated instead.
+	ErrRange = errors.New("wire: value out of encodable range")
+)
+
+// Holder-set encoding tags (codec v2). A tag byte of 0..250 IS the dense
+// word count — the v1 layout — and the encoder emits it whenever the set
+// spans at most holderDenseU8Words words, keeping small-n frames
+// byte-identical to v1. Larger sets use one of the tagged forms below,
+// whichever encodes smallest.
+const (
+	holderTagDenseU8Max = 250 // tags 0..250: word count, dense words follow
+	holderTagSparse     = 251 // u16 element count, ascending u16 elements
+	holderTagRuns       = 252 // u16 run count, (u16 start, u16 end) inclusive pairs
+	holderTagDenseU16   = 253 // u16 word count, dense words follow
+	holderDenseU8Words  = 4   // dense-u8 cutoff: sets this small keep the v1 layout
 )
 
 // Presence bits: only non-empty optional fields are written, keeping the
@@ -38,6 +73,8 @@ const (
 	hasMsgIDs
 	hasSSN
 	hasDseq
+	hasCPDseq  // v2
+	hasMembers // v2
 )
 
 // Writer is a little-endian append-only frame builder shared by the envelope
@@ -185,11 +222,41 @@ func presence(e *Envelope) uint16 {
 	if e.Dseq != 0 {
 		p |= hasDseq
 	}
+	if e.CPDseq != 0 {
+		p |= hasCPDseq
+	}
+	if len(e.Members) > 0 {
+		p |= hasMembers
+	}
 	return p
 }
 
-// Encode serializes the envelope to a self-contained frame.
+// checkLen guards every encoded list against the decoder's bound so an
+// encodable frame is always decodable.
+func checkLen(what string, n int) error {
+	if n > maxListLen {
+		return fmt.Errorf("%w: %s length %d exceeds %d", ErrRange, what, n, maxListLen)
+	}
+	return nil
+}
+
+// Encode serializes the envelope to a self-contained frame. Inside the
+// simulator every envelope is encodable by construction (list lengths and
+// holder universes are bounded by the cluster size), so an encoding error
+// is an invariant violation and panics; external callers that handle
+// untrusted or generated envelopes should use EncodeChecked.
 func Encode(e *Envelope) []byte {
+	frame, err := EncodeChecked(e)
+	if err != nil {
+		panic(fmt.Sprintf("wire: unencodable envelope: %v", err))
+	}
+	return frame
+}
+
+// EncodeChecked serializes the envelope, returning an error (wrapping
+// ErrRange) instead of truncating when a count or holder set exceeds its
+// wire representation.
+func EncodeChecked(e *Envelope) ([]byte, error) {
 	w := &Writer{buf: make([]byte, 0, 64+len(e.Payload))}
 	w.U8(codecVersion)
 	w.U8(uint8(e.Kind))
@@ -205,18 +272,29 @@ func Encode(e *Envelope) []byte {
 		w.U64(e.Dseq)
 	}
 	if p&hasPayload != 0 {
+		if err := checkLen("payload", len(e.Payload)); err != nil {
+			return nil, err
+		}
 		w.Bytes(e.Payload)
 	}
 	if p&hasDets != 0 {
+		if err := checkLen("dets", len(e.Dets)); err != nil {
+			return nil, err
+		}
 		w.U32(uint32(len(e.Dets)))
 		for i := range e.Dets {
-			encodeEntry(w, &e.Dets[i])
+			if err := encodeEntry(w, &e.Dets[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if p&hasCPRsn != 0 {
 		w.U64(uint64(e.CPRsn))
 	}
 	if p&hasSSNWatermarks != 0 {
+		if err := checkLen("ssn-watermarks", len(e.SSNWatermarks)); err != nil {
+			return nil, err
+		}
 		w.U32(uint32(len(e.SSNWatermarks)))
 		for _, s := range e.SSNWatermarks {
 			w.U64(uint64(s))
@@ -230,54 +308,234 @@ func Encode(e *Envelope) []byte {
 		w.U32(e.Round)
 	}
 	if p&hasIncVec != 0 {
+		if err := checkLen("incvec", len(e.IncVec)); err != nil {
+			return nil, err
+		}
 		w.U32(uint32(len(e.IncVec)))
 		for _, inc := range e.IncVec {
 			w.U32(uint32(inc))
 		}
 	}
 	if p&hasMsgIDs != 0 {
+		if err := checkLen("msgids", len(e.MsgIDs)); err != nil {
+			return nil, err
+		}
 		w.U32(uint32(len(e.MsgIDs)))
 		for _, id := range e.MsgIDs {
 			w.I32(int32(id.Sender))
 			w.U64(uint64(id.SSN))
 		}
 	}
-	return w.buf
+	if p&hasCPDseq != 0 {
+		w.U64(e.CPDseq)
+	}
+	if p&hasMembers != 0 {
+		if err := checkLen("members", len(e.Members)); err != nil {
+			return nil, err
+		}
+		w.U32(uint32(len(e.Members)))
+		for _, m := range e.Members {
+			w.I32(int32(m))
+		}
+	}
+	return w.buf, nil
 }
 
-func encodeEntry(w *Writer, e *det.Entry) {
+func encodeEntry(w *Writer, e *det.Entry) error {
 	w.I32(int32(e.Det.Msg.Sender))
 	w.U64(uint64(e.Det.Msg.SSN))
 	w.I32(int32(e.Det.Receiver))
 	w.U64(uint64(e.Det.RSN))
-	words := e.Holders.Words()
-	w.U8(uint8(len(words)))
-	for _, word := range words {
-		w.U64(word)
+	return encodeHolders(w, e.Holders)
+}
+
+// holderEnc picks the cheapest valid v2 encoding for a holder set and
+// returns its tag plus the full encoded size (tag byte included); ok is
+// false when the set fits no representation (more than 65535 backing
+// words). Sets of at most holderDenseU8Words words always take the
+// v1-compatible dense-u8 form. Size() relies on this function to stay in
+// lockstep with encodeHolders, and it runs per piggybacked determinant on
+// the send path, so it must not allocate.
+//
+//rollvet:hotpath
+func holderEnc(s bitset.Set) (tag uint8, size int, ok bool) {
+	words := s.Words()
+	nw := len(words)
+	if nw <= holderDenseU8Words {
+		return uint8(nw), 1 + 8*nw, true
+	}
+	tag, size = 0, -1
+	if nw <= 0xFFFF {
+		tag, size = holderTagDenseU16, 3+8*nw
+	}
+	maxElem := nw*64 - 1 - bits.LeadingZeros64(words[nw-1])
+	if maxElem <= 0xFFFF {
+		if runs := s.RunCount(); size < 0 || 3+4*runs < size {
+			tag, size = holderTagRuns, 3+4*runs
+		}
+		if count := s.Count(); count <= 0xFFFF && (size < 0 || 3+2*count <= size) {
+			tag, size = holderTagSparse, 3+2*count
+		}
+	}
+	if size < 0 {
+		return 0, 0, false
+	}
+	return tag, size, true
+}
+
+func encodeHolders(w *Writer, s bitset.Set) error {
+	tag, _, ok := holderEnc(s)
+	if !ok {
+		return fmt.Errorf("%w: holder set spans %d words", ErrRange, len(s.Words()))
+	}
+	w.U8(tag)
+	words := s.Words()
+	switch {
+	case tag <= holderTagDenseU8Max:
+		for _, word := range words {
+			w.U64(word)
+		}
+	case tag == holderTagSparse:
+		w.U16(uint16(s.Count()))
+		for wi, word := range words {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				w.U16(uint16(wi*64 + b))
+				word &= word - 1
+			}
+		}
+	case tag == holderTagRuns:
+		w.U16(uint16(s.RunCount()))
+		start, prev := -1, -2
+		for wi, word := range words {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				e := wi*64 + b
+				if e != prev+1 {
+					if start >= 0 {
+						w.U16(uint16(start))
+						w.U16(uint16(prev))
+					}
+					start = e
+				}
+				prev = e
+				word &= word - 1
+			}
+		}
+		if start >= 0 {
+			w.U16(uint16(start))
+			w.U16(uint16(prev))
+		}
+	case tag == holderTagDenseU16:
+		w.U16(uint16(len(words)))
+		for _, word := range words {
+			w.U64(word)
+		}
+	}
+	return nil
+}
+
+func readHolderWords(r *Reader, nw int) bitset.Set {
+	if nw == 0 || r.err != nil {
+		return bitset.Set{}
+	}
+	words := make([]uint64, nw)
+	for i := range words {
+		words[i] = r.U64()
+	}
+	if r.err != nil {
+		return bitset.Set{}
+	}
+	return bitset.FromWords(words)
+}
+
+func decodeHolders(r *Reader, version uint8) bitset.Set {
+	if version < 2 {
+		return readHolderWords(r, int(r.U8()))
+	}
+	tag := r.U8()
+	switch {
+	case tag <= holderTagDenseU8Max:
+		return readHolderWords(r, int(tag))
+	case tag == holderTagSparse:
+		n := int(r.U16())
+		if !r.need(2 * n) {
+			return bitset.Set{}
+		}
+		maxElem := 0
+		base := r.off
+		for i := 0; i < n; i++ {
+			if e := int(binary.LittleEndian.Uint16(r.buf[base+2*i:])); e > maxElem {
+				maxElem = e
+			}
+		}
+		s := bitset.New(maxElem + 1)
+		for i := 0; i < n; i++ {
+			s.Add(int(r.U16()))
+		}
+		return s
+	case tag == holderTagRuns:
+		n := int(r.U16())
+		if !r.need(4 * n) {
+			return bitset.Set{}
+		}
+		base := r.off
+		maxEnd, total := 0, 0
+		for i := 0; i < n; i++ {
+			start := int(binary.LittleEndian.Uint16(r.buf[base+4*i:]))
+			end := int(binary.LittleEndian.Uint16(r.buf[base+4*i+2:]))
+			if end < start {
+				r.fail(fmt.Errorf("%w: run [%d,%d]", ErrBadHolders, start, end))
+				return bitset.Set{}
+			}
+			total += end - start + 1
+			if total > maxListLen {
+				r.fail(ErrOversized)
+				return bitset.Set{}
+			}
+			if end > maxEnd {
+				maxEnd = end
+			}
+		}
+		s := bitset.New(maxEnd + 1)
+		for i := 0; i < n; i++ {
+			start := int(r.U16())
+			end := int(r.U16())
+			for e := start; e <= end; e++ {
+				s.Add(e)
+			}
+		}
+		return s
+	case tag == holderTagDenseU16:
+		nw := int(r.U16())
+		if nw > maxListLen/8 {
+			r.fail(ErrOversized)
+			return bitset.Set{}
+		}
+		return readHolderWords(r, nw)
+	default:
+		r.fail(fmt.Errorf("%w: tag %d", ErrBadHolders, tag))
+		return bitset.Set{}
 	}
 }
 
-func decodeEntry(r *Reader) det.Entry {
+func decodeEntry(r *Reader, version uint8) det.Entry {
 	var e det.Entry
 	e.Det.Msg.Sender = ids.ProcID(r.I32())
 	e.Det.Msg.SSN = ids.SSN(r.U64())
 	e.Det.Receiver = ids.ProcID(r.I32())
 	e.Det.RSN = ids.RSN(r.U64())
-	nw := int(r.U8())
-	if nw > 0 {
-		words := make([]uint64, nw)
-		for i := range words {
-			words[i] = r.U64()
-		}
-		e.Holders = bitset.FromWords(words)
-	}
+	e.Holders = decodeHolders(r, version)
 	return e
 }
 
-// Decode parses a frame produced by Encode.
+// Decode parses a frame produced by Encode. Frames from every codec
+// version back to minDecodeVersion are accepted, so traces recorded before
+// a version bump remain readable.
 func Decode(frame []byte) (*Envelope, error) {
 	r := &Reader{buf: frame}
-	if v := r.U8(); r.err == nil && v != codecVersion {
+	v := r.U8()
+	if r.err == nil && (v < minDecodeVersion || v > codecVersion) {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	kind := Kind(r.U8())
@@ -303,7 +561,7 @@ func Decode(frame []byte) (*Envelope, error) {
 		if r.err == nil && n > 0 {
 			e.Dets = make([]det.Entry, 0, min(n, 4096))
 			for i := 0; i < n && r.err == nil; i++ {
-				e.Dets = append(e.Dets, decodeEntry(r))
+				e.Dets = append(e.Dets, decodeEntry(r, v))
 			}
 		}
 	}
@@ -347,6 +605,18 @@ func Decode(frame []byte) (*Envelope, error) {
 			}
 		}
 	}
+	if p&hasCPDseq != 0 {
+		e.CPDseq = r.U64()
+	}
+	if p&hasMembers != 0 {
+		n := r.ListLen()
+		if r.err == nil && n > 0 {
+			e.Members = make([]ids.ProcID, 0, min(n, 4096))
+			for i := 0; i < n && r.err == nil; i++ {
+				e.Members = append(e.Members, ids.ProcID(r.I32()))
+			}
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -376,7 +646,8 @@ func Size(e *Envelope) int {
 	if p&hasDets != 0 {
 		n += 4
 		for i := range e.Dets {
-			n += 4 + 8 + 4 + 8 + 1 + 8*len(e.Dets[i].Holders.Words())
+			_, hn, _ := holderEnc(e.Dets[i].Holders)
+			n += 4 + 8 + 4 + 8 + hn
 		}
 	}
 	if p&hasCPRsn != 0 {
@@ -396,6 +667,12 @@ func Size(e *Envelope) int {
 	}
 	if p&hasMsgIDs != 0 {
 		n += 4 + 12*len(e.MsgIDs)
+	}
+	if p&hasCPDseq != 0 {
+		n += 8
+	}
+	if p&hasMembers != 0 {
+		n += 4 + 4*len(e.Members)
 	}
 	return n
 }

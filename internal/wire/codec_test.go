@@ -64,7 +64,8 @@ func TestRoundTrip(t *testing.T) {
 // but equal contents compare equal.
 func equalEnvelopes(a, b *Envelope) bool {
 	if a.Kind != b.Kind || a.From != b.From || a.To != b.To || a.FromInc != b.FromInc ||
-		a.SSN != b.SSN || a.Dseq != b.Dseq || a.CPRsn != b.CPRsn || a.Ord != b.Ord || a.Round != b.Round {
+		a.SSN != b.SSN || a.Dseq != b.Dseq || a.CPRsn != b.CPRsn || a.Ord != b.Ord || a.Round != b.Round ||
+		a.CPDseq != b.CPDseq {
 		return false
 	}
 	if !bytes.Equal(a.Payload, b.Payload) {
@@ -79,8 +80,13 @@ func equalEnvelopes(a, b *Envelope) bool {
 		}
 	}
 	if len(a.SSNWatermarks) != len(b.SSNWatermarks) || len(a.IncVec) != len(b.IncVec) ||
-		len(a.MsgIDs) != len(b.MsgIDs) {
+		len(a.MsgIDs) != len(b.MsgIDs) || len(a.Members) != len(b.Members) {
 		return false
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			return false
+		}
 	}
 	for i := range a.SSNWatermarks {
 		if a.SSNWatermarks[i] != b.SSNWatermarks[i] {
@@ -164,10 +170,25 @@ func randomEnvelope(rng *rand.Rand) *Envelope {
 		e.Payload = make([]byte, rng.Intn(64))
 		rng.Read(e.Payload)
 	}
+	if rng.Intn(3) == 0 {
+		e.CPDseq = uint64(1 + rng.Intn(50))
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		e.Members = append(e.Members, ids.ProcID(rng.Intn(1024)))
+	}
 	for i, n := 0, rng.Intn(4); i < n; i++ {
 		holders := bitset.Set{}
-		for j, m := 0, rng.Intn(4); j < m; j++ {
-			holders.Add(rng.Intn(65))
+		// Span the full n=1024 universe (and occasionally beyond) so the
+		// fuzz covers every holder encoding the chooser can pick.
+		universe := []int{65, 1025, 70_000}[rng.Intn(3)]
+		for j, m := 0, rng.Intn(40); j < m; j++ {
+			holders.Add(rng.Intn(universe))
+		}
+		if rng.Intn(4) == 0 { // long runs favor the RLE form
+			start := rng.Intn(1024)
+			for j, m := 0, rng.Intn(200); j < m; j++ {
+				holders.Add(start + j)
+			}
 		}
 		e.Dets = append(e.Dets, det.Entry{
 			Det: det.Determinant{

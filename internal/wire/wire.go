@@ -131,12 +131,22 @@ type Envelope struct {
 	// Checkpoint notices.
 	CPRsn         ids.RSN   // receiver-order watermark covered by the checkpoint
 	SSNWatermarks []ids.SSN // per-sender delivered-SSN watermarks
+	// CPDseq piggybacks the sender's checkpoint-time delivered watermark
+	// for the destination on KindApp frames (fanout mode): the receiver can
+	// garbage-collect sender-log entries the watermark covers without
+	// waiting for a direct checkpoint notice.
+	CPDseq uint64
 
 	// Recovery protocol.
 	Ord    ids.Ordinal       // recovery ordinal of the round
 	Round  uint32            // gather attempt counter within one ordinal
 	IncVec []ids.Incarnation // leader's incarnation vector
 	MsgIDs []ids.MsgID       // replay requests, storage acks
+	// Members lists the recovering processes a KindDepRequest gathers for;
+	// live repliers and the storage node scope their determinant logs to
+	// these receivers instead of shipping the whole log. Empty means
+	// unscoped (the pre-fanout behavior).
+	Members []ids.ProcID
 }
 
 // Clone returns a deep copy of the envelope.
@@ -159,6 +169,9 @@ func (e *Envelope) Clone() *Envelope {
 	}
 	if e.MsgIDs != nil {
 		c.MsgIDs = append([]ids.MsgID(nil), e.MsgIDs...)
+	}
+	if e.Members != nil {
+		c.Members = append([]ids.ProcID(nil), e.Members...)
 	}
 	return &c
 }
