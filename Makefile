@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint fmt race bench bench-seed bench-micro bench-kernel timeline check
+.PHONY: all build test vet lint fmt race bench bench-seed bench-micro bench-kernel timeline explore check
 
 all: build test
 
@@ -60,6 +60,13 @@ bench-seed:
 timeline:
 	$(GO) run ./cmd/experiments -timeline timelines
 	$(GO) run ./cmd/timeline timelines/timeline_D11_fbl.json
+
+# explore runs the failure-schedule explorer's bounded-exhaustive pass at
+# n=3 for all three protocol families (DESIGN §13): every decision point ×
+# every victim, protocol invariants checked on every branch. Exits non-zero
+# on any violation, printing a replayable counterexample.
+explore:
+	$(GO) run ./cmd/explore -out /tmp/explore_report.json
 
 # bench-micro is the Go micro-benchmark suite (trace hot path).
 bench-micro:

@@ -86,7 +86,11 @@ func TestCheckerDetectsReplayInfidelity(t *testing.T) {
 
 func TestCheckerDetectsStuckRecovery(t *testing.T) {
 	c := quietCluster(t)
-	c.crashes++ // pretend a crash happened whose recovery never finished
+	// Crash for real but stop the clock before the watchdog can even
+	// detect it: the kernel's effective-crash counter (what liveness
+	// compares against) outruns completed recoveries.
+	c.Crash(2100*time.Millisecond, 0)
+	c.Run(2200 * time.Millisecond)
 	errs := c.Check()
 	if !hasViolation(errs, "liveness") {
 		t.Fatal("checker missed a stuck recovery")

@@ -143,19 +143,33 @@ func (p *Process) Boot(env node.Env, restart bool) {
 		if !ok {
 			// Crashed before any committed snapshot: the whole cluster
 			// restarts from scratch.
-			p.epoch = 2
+			p.epoch = p.nextEpoch(1)
 			p.persistEpoch()
-			p.broadcastRollback(0)
+			p.broadcastRollback(0, true)
 			p.restartFromScratch()
 			return
 		}
 		id, epoch := parseCommitted(data)
 		p.committedID = id
-		p.epoch = epoch + 1
+		p.epoch = p.nextEpoch(epoch)
 		p.persistEpoch()
-		p.broadcastRollback(id)
+		p.broadcastRollback(id, true)
 		p.restoreSnapshot(id)
 	})
+}
+
+// nextEpoch allocates the next rollback epoch: the smallest value that is
+// both strictly greater than every epoch this process has seen and congruent
+// to its own id mod n. The residue makes concurrently-allocated epochs
+// distinct: two processes restarting from overlapping outages each know only
+// their own (possibly stale) persisted epoch, and under naive +1 allocation
+// both would pick the same number — the second recovery's rollback broadcast
+// would then be dropped as stale everywhere, leaving the cluster running
+// with the channel state the second crash destroyed. (Found by the
+// internal/explore schedule explorer.)
+func (p *Process) nextEpoch(seen uint32) uint32 {
+	n := uint32(p.n)
+	return (seen/n+1)*n + uint32(p.env.ID())
 }
 
 // persistEpoch durably records the current epoch alongside the committed
@@ -167,7 +181,17 @@ func (p *Process) persistEpoch() {
 	p.env.WriteStable(keyCommitted, w.Frame(), nil)
 }
 
-func (p *Process) broadcastRollback(snapID uint32) {
+// rollbackRestartOrigin tags (in the otherwise-unused Dseq field) a rollback
+// broadcast by a process that just restarted from a crash, as opposed to one
+// relayed by a live peer. Only restart-origin rollbacks may trigger a relay
+// when they arrive stale — relays never do, which bounds the cascade.
+const rollbackRestartOrigin = 1
+
+func (p *Process) broadcastRollback(snapID uint32, restartOrigin bool) {
+	var tag uint64
+	if restartOrigin {
+		tag = rollbackRestartOrigin
+	}
 	for q := 0; q < p.n; q++ {
 		if ids.ProcID(q) == p.env.ID() {
 			continue
@@ -176,6 +200,7 @@ func (p *Process) broadcastRollback(snapID uint32) {
 			Kind:    wire.KindRollback,
 			FromInc: ids.Incarnation(p.epoch),
 			Round:   snapID,
+			Dseq:    tag,
 		})
 	}
 }
@@ -306,26 +331,65 @@ func (p *Process) Deliver(e *wire.Envelope) {
 // onRollback makes a live process restore the recovery line: the global
 // rollback every coordinated-checkpointing failure forces.
 func (p *Process) onRollback(e *wire.Envelope) {
-	if uint32(e.FromInc) <= p.epoch || p.rollingBack {
-		return // stale or already rolling back
+	if p.rollingBack {
+		// A rollback arriving mid-rollback must not be dropped: buffering
+		// it with the future frames lets a concurrent recovery's (possibly
+		// higher-epoch) order win once ours completes.
+		if uint32(e.FromInc) > p.epoch {
+			p.futureBuf = append(p.futureBuf, e)
+		}
+		return
 	}
-	lost := p.delivered
+	if uint32(e.FromInc) <= p.epoch {
+		// Stale — unless it came straight from a restarting process. A
+		// restarter that was down through the current epoch's rollback
+		// broadcast allocates from a stale base, so its own broadcast is
+		// fenced everywhere; but the crash still destroyed channel and
+		// process state the running epoch depends on. Any live peer that
+		// notices relays a fresh global rollback at an epoch the restarter
+		// is guaranteed to honor.
+		if e.Dseq == rollbackRestartOrigin {
+			p.relayRollback()
+		}
+		return
+	}
 	p.epoch = uint32(e.FromInc)
 	p.committedID = e.Round
 	p.rollingBack = true
 	p.persistEpoch()
+	p.restoreLine(e.Round)
+}
+
+// relayRollback starts a fresh global rollback on behalf of a process whose
+// own restart-origin broadcast arrived stale (see onRollback): allocate a
+// strictly newer epoch, broadcast it, and roll back to the committed line
+// like everyone else.
+func (p *Process) relayRollback() {
+	p.epoch = p.nextEpoch(p.epoch)
+	p.rollingBack = true
+	p.persistEpoch()
+	p.broadcastRollback(p.committedID, false)
+	p.env.Logf("coord: relaying rollback for a stale restarter (epoch %d, snapshot %d)",
+		p.epoch, p.committedID)
+	p.restoreLine(p.committedID)
+}
+
+// restoreLine rolls a live process back to the committed line (snapID 0 =
+// from scratch) for the already-installed epoch.
+func (p *Process) restoreLine(snapID uint32) {
+	lost := p.delivered
 	// Live processes also pay: the blocked interval is the stable-storage
 	// restore they are forced through.
 	p.env.Metrics().BlockStart(p.env.Now())
-	if e.Round == 0 {
+	if snapID == 0 {
 		p.env.Metrics().BlockEnd(p.env.Now())
 		p.restartFromScratch()
 		return
 	}
-	p.env.ReadStable(fmt.Sprintf("%s%d", keySnapPrefix, e.Round), func(data []byte, ok bool) {
+	p.env.ReadStable(fmt.Sprintf("%s%d", keySnapPrefix, snapID), func(data []byte, ok bool) {
 		p.env.Metrics().BlockEnd(p.env.Now())
 		if !ok {
-			panic(fmt.Sprintf("coord: %v: snapshot %d missing on rollback", p.env.ID(), e.Round))
+			panic(fmt.Sprintf("coord: %v: snapshot %d missing on rollback", p.env.ID(), snapID))
 		}
 		p.resetVolatile()
 		recorded := p.decodeSnapshot(data)

@@ -215,6 +215,47 @@ func TestRepeatedCrashes(t *testing.T) {
 	}
 }
 
+// TestOverlappingCrashesBeforeFirstSnapshot pins the epoch-collision fix the
+// schedule explorer (internal/explore) found: two processes crashing with
+// overlapping outages before any snapshot commits each restart knowing only
+// a stale epoch. Under naive epoch+1 allocation both recoveries pick the
+// same number, the later broadcast is fenced as stale everywhere, and the
+// channel state the second crash destroyed (the ring token) is never
+// re-created — the cluster stalls forever. The mod-n epoch allocation plus
+// the stale-restarter relay must recover both restart orderings.
+func TestOverlappingCrashesBeforeFirstSnapshot(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		first  ids.ProcID
+		second ids.ProcID
+	}{
+		// Low id restarts first: the second restarter's higher residue wins
+		// directly. High id first: the second broadcast arrives stale and
+		// must be relayed by a live peer.
+		{"low-then-high", 0, 1},
+		{"high-then-low", 1, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := newHarness(t, 3, 7, workload.NewTokenRing(6000, 32, int64(time.Millisecond)))
+			g.runUntilDone(t, 60*time.Second)
+
+			h := newHarness(t, 3, 7, workload.NewTokenRing(6000, 32, int64(time.Millisecond)))
+			h.k.CrashAt(20*time.Millisecond, tc.first)
+			h.k.CrashAt(25*time.Millisecond, tc.second)
+			// Relays make the per-crash rollback count vary; only require
+			// completion and the golden final state.
+			h.crashes = 0
+			h.runUntilDone(t, 120*time.Second)
+			gd, hd := g.digests(), h.digests()
+			for i := range gd {
+				if gd[i] != hd[i] {
+					t.Errorf("process %d digest %#x, want golden %#x", i, hd[i], gd[i])
+				}
+			}
+		})
+	}
+}
+
 func TestLostWorkIsClusterWide(t *testing.T) {
 	h := newHarness(t, 4, 6, workload.NewTokenRing(9000, 32, int64(time.Millisecond)))
 	h.crashAt(2*time.Second, 1)

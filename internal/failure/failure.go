@@ -109,20 +109,31 @@ func (d *Detector) tracks(p ids.ProcID) bool {
 	return p != d.self && !p.IsStorage() && p >= 0 && int(p) < d.n
 }
 
-// Crash is one injected failure: Proc crashes at virtual time At.
+// Crash is one injected failure: Proc crashes at virtual time At, or — when
+// Step is positive — at the event-dispatch boundary Step of the classic
+// kernel (sim.CrashAtStep). Step-indexed crashes are what the explorer uses
+// to land failures between any two events, including inside an in-progress
+// recovery; time-indexed crashes remain the experiments' coarse knob.
 type Crash struct {
 	At   time.Duration
 	Proc ids.ProcID
+	Step int64
 }
 
 // Plan is a crash schedule. Use Sorted before applying.
 type Plan []Crash
 
-// Sorted returns the plan ordered by injection time (stable for equal
-// times).
+// Sorted returns the plan ordered by injection time, step-indexed entries
+// tie-broken by step (stable for equal keys). Step crashes carry At == 0,
+// so a mixed plan applies them first — they name early-run boundaries.
 func (p Plan) Sorted() Plan {
 	out := append(Plan(nil), p...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Step < out[j].Step
+	})
 	return out
 }
 

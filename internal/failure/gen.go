@@ -1,0 +1,84 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"rollrec/internal/ids"
+)
+
+// Seeded crash-plan generators. Both are pure functions of their arguments:
+// the same seed yields the same plan, byte for byte, which is what lets the
+// explorer's random frontier and the experiments' churn knob replay any
+// schedule from its seed alone.
+
+// UniformPlan draws `crashes` failures with victims uniform over the n
+// application processes and injection times uniform over (0, horizon].
+// Crash times avoid t=0 (a crash before boot is a different experiment) and
+// the returned plan is sorted.
+func UniformPlan(seed int64, n, crashes int, horizon time.Duration) Plan {
+	if n < 1 || crashes < 0 || horizon <= 0 {
+		panic(fmt.Sprintf("failure: UniformPlan(n=%d, crashes=%d, horizon=%v): bad arguments",
+			n, crashes, horizon))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := make(Plan, 0, crashes)
+	for i := 0; i < crashes; i++ {
+		p = append(p, Crash{
+			At:   time.Duration(rng.Int63n(int64(horizon))) + 1,
+			Proc: ids.ProcID(rng.Intn(n)),
+		})
+	}
+	return p.Sorted()
+}
+
+// PhaseBiasedPlan draws `crashes` failures whose times cluster just after
+// protocol phase boundaries (checkpoint commits, recovery transitions, …):
+// each crash picks a boundary uniformly from the given set and lands at a
+// uniform offset in [boundary, boundary+jitter). Crashes that would land at
+// or before t=0 clamp to 1ns. The boundary set is canonicalized (sorted) so
+// the plan depends only on the set, not the caller's ordering; the returned
+// plan is sorted.
+func PhaseBiasedPlan(seed int64, n, crashes int, boundaries []time.Duration, jitter time.Duration) Plan {
+	if n < 1 || crashes < 0 || len(boundaries) == 0 || jitter <= 0 {
+		panic(fmt.Sprintf("failure: PhaseBiasedPlan(n=%d, crashes=%d, boundaries=%d, jitter=%v): bad arguments",
+			n, crashes, len(boundaries), jitter))
+	}
+	bs := append([]time.Duration(nil), boundaries...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	rng := rand.New(rand.NewSource(seed))
+	p := make(Plan, 0, crashes)
+	for i := 0; i < crashes; i++ {
+		at := bs[rng.Intn(len(bs))] + time.Duration(rng.Int63n(int64(jitter)))
+		if at <= 0 {
+			at = 1
+		}
+		p = append(p, Crash{At: at, Proc: ids.ProcID(rng.Intn(n))})
+	}
+	return p.Sorted()
+}
+
+// ChurnPlan draws a uniform crash plan that respects a failure budget: it
+// retries derived seeds (seed, seed+1, ...) until the plan's recoveries,
+// each assumed to last `window`, never exceed f concurrent failures — the
+// precondition the FBL protocol needs to guarantee determinant
+// availability. The result is still a pure function of the arguments, so
+// an experiment's churn schedule replays from its seed alone. Panics if no
+// conforming plan is found within a generous retry budget (the caller
+// asked for more sustained churn than the budget admits).
+func ChurnPlan(seed int64, n, f, crashes int, horizon, window time.Duration) Plan {
+	if f < 1 {
+		panic(fmt.Sprintf("failure: ChurnPlan(f=%d): need a positive failure budget", f))
+	}
+	const retries = 10_000
+	for i := int64(0); i < retries; i++ {
+		p := UniformPlan(seed+i, n, crashes, horizon)
+		if p.MaxConcurrent(window) <= f {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("failure: ChurnPlan(n=%d, f=%d, crashes=%d, horizon=%v, window=%v): no conforming plan in %d attempts",
+		n, f, crashes, horizon, window, retries))
+}

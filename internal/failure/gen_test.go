@@ -1,0 +1,179 @@
+package failure
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rollrec/internal/ids"
+)
+
+func TestUniformPlanDeterministic(t *testing.T) {
+	a := UniformPlan(7, 4, 5, 30*time.Second)
+	b := UniformPlan(7, 4, 5, 30*time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a, b)
+	}
+	c := UniformPlan(8, 4, 5, 30*time.Second)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical plan (suspicious)")
+	}
+	if len(a) != 5 {
+		t.Fatalf("len = %d, want 5", len(a))
+	}
+	for i, cr := range a {
+		if cr.At <= 0 || cr.At > 30*time.Second {
+			t.Fatalf("crash %d at %v outside (0, horizon]", i, cr.At)
+		}
+		if cr.Proc < 0 || int(cr.Proc) >= 4 {
+			t.Fatalf("crash %d victim %v outside [0, n)", i, cr.Proc)
+		}
+		if i > 0 && a[i-1].At > cr.At {
+			t.Fatal("plan not sorted")
+		}
+	}
+}
+
+func TestPhaseBiasedPlanDeterministicAndNearBoundaries(t *testing.T) {
+	bounds := []time.Duration{4 * time.Second, 8 * time.Second, 12 * time.Second}
+	jitter := 500 * time.Millisecond
+	a := PhaseBiasedPlan(3, 4, 8, bounds, jitter)
+	b := PhaseBiasedPlan(3, 4, 8, bounds, jitter)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", a, b)
+	}
+	// The boundary set is canonicalized: permuting it changes nothing.
+	perm := []time.Duration{12 * time.Second, 4 * time.Second, 8 * time.Second}
+	if c := PhaseBiasedPlan(3, 4, 8, perm, jitter); !reflect.DeepEqual(a, c) {
+		t.Fatalf("boundary order leaked into the plan:\n%v\n%v", a, c)
+	}
+	for i, cr := range a {
+		in := false
+		for _, bd := range bounds {
+			if cr.At >= bd && cr.At < bd+jitter {
+				in = true
+				break
+			}
+		}
+		if !in {
+			t.Fatalf("crash %d at %v not within jitter of any boundary", i, cr.At)
+		}
+	}
+}
+
+func TestPhaseBiasedPlanClampsToPositiveTime(t *testing.T) {
+	p := PhaseBiasedPlan(1, 2, 4, []time.Duration{0}, time.Nanosecond)
+	for _, cr := range p {
+		if cr.At <= 0 {
+			t.Fatalf("crash at %v, want > 0", cr.At)
+		}
+	}
+}
+
+// ── Plan.Sorted / MaxConcurrent edge cases ─────────────────────────────
+
+func TestSortedEmptyPlan(t *testing.T) {
+	var p Plan
+	if got := p.Sorted(); len(got) != 0 {
+		t.Fatalf("Sorted(empty) = %v", got)
+	}
+	if got := p.MaxConcurrent(time.Second); got != 0 {
+		t.Fatalf("MaxConcurrent(empty) = %d, want 0", got)
+	}
+}
+
+func TestSortedEqualTimesIsStable(t *testing.T) {
+	p := Plan{{At: 5 * time.Second, Proc: 2}, {At: 5 * time.Second, Proc: 0}, {At: 5 * time.Second, Proc: 1}}
+	got := p.Sorted()
+	want := Plan{{At: 5 * time.Second, Proc: 2}, {At: 5 * time.Second, Proc: 0}, {At: 5 * time.Second, Proc: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("equal-time sort not stable: %v", got)
+	}
+}
+
+func TestSortedStepTieBreak(t *testing.T) {
+	p := Plan{{Step: 40, Proc: 1}, {Step: 7, Proc: 0}, {At: time.Second, Proc: 2}}
+	got := p.Sorted()
+	want := Plan{{Step: 7, Proc: 0}, {Step: 40, Proc: 1}, {At: time.Second, Proc: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("step tie-break wrong: %v", got)
+	}
+}
+
+func TestMaxConcurrentWindowBoundaryIsExclusive(t *testing.T) {
+	// Two crashes exactly one window apart do not overlap: the recovery
+	// started at t ends at t+window, strictly before a crash at t+window.
+	p := Plan{{At: 2 * time.Second, Proc: 0}, {At: 4 * time.Second, Proc: 1}}
+	if got := p.MaxConcurrent(2 * time.Second); got != 1 {
+		t.Fatalf("boundary-separated crashes: MaxConcurrent = %d, want 1", got)
+	}
+	if got := p.MaxConcurrent(2*time.Second + 1); got != 2 {
+		t.Fatalf("just-overlapping crashes: MaxConcurrent = %d, want 2", got)
+	}
+}
+
+func TestMaxConcurrentEqualTimes(t *testing.T) {
+	p := Plan{{At: time.Second, Proc: 0}, {At: time.Second, Proc: 1}, {At: time.Second, Proc: 2}}
+	if got := p.MaxConcurrent(time.Nanosecond); got != 3 {
+		t.Fatalf("simultaneous crashes: MaxConcurrent = %d, want 3", got)
+	}
+}
+
+// TestPlanFullFWithStoragePresent exercises the f = n shape: every
+// application process crashes (the storage pseudo-process, ids.StorageProc,
+// never does — the kernel enforces that at injection). Sorting and overlap
+// accounting must handle the full-f plan without special cases.
+func TestPlanFullFWithStoragePresent(t *testing.T) {
+	n := 4
+	p := Plan{}
+	for i := n - 1; i >= 0; i-- {
+		p = append(p, Crash{At: time.Duration(i+1) * time.Second, Proc: ids.ProcID(i)})
+	}
+	s := p.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i-1].At > s[i].At {
+			t.Fatal("full-f plan not sorted")
+		}
+	}
+	if got := s.MaxConcurrent(10 * time.Second); got != n {
+		t.Fatalf("all-overlapping full-f plan: MaxConcurrent = %d, want %d", got, n)
+	}
+	if got := s.MaxConcurrent(time.Second); got != 1 {
+		t.Fatalf("serialized full-f plan: MaxConcurrent = %d, want 1", got)
+	}
+}
+
+func TestChurnPlanRespectsBudgetAndIsDeterministic(t *testing.T) {
+	const window = 2 * time.Second
+	a := ChurnPlan(42, 8, 1, 5, 30*time.Second, window)
+	b := ChurnPlan(42, 8, 1, 5, 30*time.Second, window)
+	if len(a) != 5 {
+		t.Fatalf("plan has %d crashes, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same arguments produced different plans:\n%v\n%v", a, b)
+		}
+	}
+	if mc := a.MaxConcurrent(window); mc > 1 {
+		t.Fatalf("plan exceeds the f=1 budget: MaxConcurrent=%d, plan=%v", mc, a)
+	}
+	// The f=1 constraint is tight enough here that the first derived seed
+	// cannot always satisfy it: the helper must actually be reseeding, not
+	// merely forwarding UniformPlan.
+	if u := UniformPlan(42, 8, 5, 30*time.Second); u.MaxConcurrent(window) <= 1 {
+		t.Skip("seed 42 conformed on the first draw; pick a tighter constraint")
+	}
+}
+
+func TestChurnPlanLooseBudgetIsFirstDraw(t *testing.T) {
+	// With f = crashes the first draw always conforms, so ChurnPlan must
+	// degenerate to UniformPlan(seed).
+	got := ChurnPlan(7, 4, 3, 3, 10*time.Second, time.Hour)
+	want := UniformPlan(7, 4, 3, 10*time.Second)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("loose-budget churn plan %v differs from uniform plan %v", got, want)
+		}
+	}
+}

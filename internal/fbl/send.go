@@ -94,6 +94,13 @@ func (p *Process) transmit(to ids.ProcID, dseq uint64, rec logRec) {
 	} else {
 		p.detCursor[to] = p.dets.ScanPendingModified(p.detCursor[to], consider)
 	}
+	if TestingDropDetPiggyback {
+		// Mutation hook (see TestingDropDetPiggyback): the determinants were
+		// scanned and memoized as sent, but never leave the process — the
+		// exact bug class the explorer's orphan/fidelity invariants exist to
+		// catch.
+		piggy = nil
+	}
 	if p.par.Fanout > 0 {
 		// The FBL sender-side estimate (§2.1): piggybacking a determinant
 		// to a destination makes that destination a holder, so count it now

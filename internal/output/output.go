@@ -53,11 +53,12 @@ type Sink interface {
 // Ledger implements Sink and the readout side. The zero value is not
 // usable; construct with NewLedger.
 type Ledger struct {
-	recs    [][]Record // indexed [proc][seq-1]
-	tr      trace.Tracer
-	metrics func(ids.ProcID) *metrics.Proc
-	open    int
-	total   int
+	recs       [][]Record // indexed [proc][seq-1]
+	tr         trace.Tracer
+	metrics    func(ids.ProcID) *metrics.Proc
+	onConflict func(proc ids.ProcID, seq uint64, oldHash, newHash uint64)
+	open       int
+	total      int
 }
 
 var _ Sink = (*Ledger)(nil)
@@ -73,6 +74,16 @@ func (l *Ledger) SetTracer(t trace.Tracer) { l.tr = trace.OrNop(t) }
 // SetMetrics wires the per-process histogram sink; f is typically
 // (*sim.Kernel).Metrics. A nil f disables histogram recording.
 func (l *Ledger) SetMetrics(f func(ids.ProcID) *metrics.Proc) { l.metrics = f }
+
+// SetOnConflict installs a probe that fires when a rollback re-execution
+// re-requests an already-committed output with *different* content — the
+// externally-visible inconsistency every output-commit rule exists to
+// prevent (the original bytes already left the system). The explorer checks
+// this invariant on every branch; a same-content re-request (deterministic
+// re-execution of released output) does not fire.
+func (l *Ledger) SetOnConflict(fn func(proc ids.ProcID, seq uint64, oldHash, newHash uint64)) {
+	l.onConflict = fn
+}
 
 func (l *Ledger) procRecs(proc ids.ProcID) []Record {
 	if int(proc) >= len(l.recs) {
@@ -101,6 +112,9 @@ func (l *Ledger) Requested(proc ids.ProcID, seq uint64, now int64, payload []byt
 	}
 	r := &rs[seq-1]
 	if r.Committed() {
+		if l.onConflict != nil && r.Hash != hash(payload) {
+			l.onConflict(proc, seq, r.Hash, hash(payload))
+		}
 		return false // rollback re-execution of already-released output
 	}
 	// Re-request of an open output: a rollback may re-execute it with

@@ -46,6 +46,7 @@ type Runtime interface {
 	QueueDepth() int
 	InFlightFrames() int
 	SetSampler(every time.Duration, fn func(now int64))
+	CrashesApplied() int
 }
 
 var _ Runtime = (*Kernel)(nil)
@@ -111,6 +112,15 @@ func NewSharded(cfg Config, shards int) *Sharded {
 
 // Shards returns the shard count (for reporting).
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// CrashesApplied sums the effective crash injections across shards.
+func (s *Sharded) CrashesApplied() int {
+	total := 0
+	for _, k := range s.shards {
+		total += k.crashApplied
+	}
+	return total
+}
 
 func (s *Sharded) shardFor(id ids.ProcID) *Kernel {
 	m := int(id) % len(s.shards)

@@ -149,6 +149,19 @@ type Kernel struct {
 	// cluster size when this kernel owns only a shard of it.
 	arrivalSink func(at int64, from, to ids.ProcID, frame []byte, sentAt int64)
 	nOverride   int
+
+	// Step-boundary hook (see step.go). dispatched counts events dispatched
+	// so far; the boundary before dispatch i is step index i. Like the
+	// sampler, the probe consumes no sequence numbers and no randomness, so
+	// an attached probe leaves the event sequence bit-identical. stepCrash
+	// maps step indices to crash victims injected at that boundary;
+	// crashApplied counts the crashes that actually took effect (the victim
+	// was up), which is what liveness checks must compare recoveries against
+	// when a schedule may re-crash an already-down process.
+	dispatched   int64
+	stepFn       StepFunc
+	stepCrash    map[int64][]ids.ProcID
+	crashApplied int
 }
 
 // New returns a kernel with no nodes.
@@ -588,6 +601,18 @@ func (k *Kernel) RunContext(ctx context.Context, until time.Duration) (int64, er
 		if e.at > k.now {
 			k.now = e.at
 		}
+		// Step boundary (see step.go): the probe observes the event about to
+		// dispatch, and step-indexed crashes land here — after the slot is
+		// off the heap (an injected crash schedules a restart event, which
+		// must not displace the pending heap top) and before the dispatch,
+		// so a crash at step i interleaves exactly between events i-1 and i.
+		// dispatched is bumped before the dispatch so Steps() read from
+		// inside a handler or tracer callback names the boundary immediately
+		// after the event being dispatched.
+		if k.stepFn != nil || len(k.stepCrash) > 0 {
+			k.stepBoundary(&e)
+		}
+		k.dispatched++
 		switch e.kind {
 		case evFunc:
 			e.fn()
@@ -642,6 +667,7 @@ func (k *Kernel) Crash(id ids.ProcID) {
 	if id.IsStorage() {
 		panic("sim: the stable-storage pseudo-process never fails (paper §3.3)")
 	}
+	k.crashApplied++
 	k.tracef("%v CRASH", id)
 	k.tr.Instant(k.now, int32(id), trace.EvCrash, trace.Tag{})
 	ns.downSpan = k.tr.Begin(k.now, int32(id), trace.EvDown, trace.Tag{})

@@ -436,7 +436,9 @@ func encodeHolders(w *Writer, s bitset.Set) error {
 }
 
 func readHolderWords(r *Reader, nw int) bitset.Set {
-	if nw == 0 || r.err != nil {
+	// Check the words are actually present before allocating: a corrupted
+	// word count must not provoke a large allocation from a tiny frame.
+	if nw == 0 || !r.need(8*nw) {
 		return bitset.Set{}
 	}
 	words := make([]uint64, nw)
@@ -489,8 +491,12 @@ func decodeHolders(r *Reader, version uint8) bitset.Set {
 				return bitset.Set{}
 			}
 			total += end - start + 1
-			if total > maxListLen {
-				r.fail(ErrOversized)
+			// u16 runs can cover at most 65536 distinct elements; a larger
+			// total means overlapping runs, which the encoder never emits
+			// and which would let a ~30-byte frame demand millions of set
+			// inserts (a decode-side amplification attack the fuzzer found).
+			if total > 1<<16 {
+				r.fail(fmt.Errorf("%w: runs expand to %d elements", ErrBadHolders, total))
 				return bitset.Set{}
 			}
 			if end > maxEnd {

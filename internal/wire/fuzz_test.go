@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// holderFrame assembles a KindApp frame whose single determinant entry
+// carries hand-written holder-set bytes, for exercising the decoder's
+// corrupted-encoding guards.
+func holderFrame(holders func(w *Writer)) []byte {
+	w := NewWriter(64)
+	w.U8(2)        // codec version
+	w.U8(1)        // KindApp
+	w.I32(0)       // from
+	w.I32(1)       // to
+	w.U32(0)       // inc
+	w.U16(hasDets) // presence
+	w.U32(1)       // one entry
+	w.I32(0)       // det sender
+	w.U64(7)       // det ssn
+	w.I32(1)       // det receiver
+	w.U64(9)       // det rsn
+	holders(w)
+	return w.Frame()
+}
+
+// TestDecodeHolderAmplificationGuards pins two fuzzer findings: a tiny
+// frame must not be able to demand work or memory wildly out of proportion
+// to its size. Overlapping run-length runs (which the encoder never emits)
+// could expand ~30 bytes into millions of set inserts, and a dense-u16
+// word count was allocated before checking the words were present.
+func TestDecodeHolderAmplificationGuards(t *testing.T) {
+	overlapping := holderFrame(func(w *Writer) {
+		w.U8(holderTagRuns)
+		w.U16(2)
+		w.U16(0)
+		w.U16(0xFFFF) // run [0,65535]
+		w.U16(0)
+		w.U16(0xFFFF) // the same run again: 131072 > 65536 elements
+	})
+	if _, err := Decode(overlapping); !errors.Is(err, ErrBadHolders) {
+		t.Fatalf("overlapping runs decoded with err=%v, want ErrBadHolders", err)
+	}
+
+	truncatedDense := holderFrame(func(w *Writer) {
+		w.U8(holderTagDenseU16)
+		w.U16(0xFFFF) // claims 65535 words (512 KiB) with none present
+	})
+	if _, err := Decode(truncatedDense); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated dense-u16 decoded with err=%v, want ErrTruncated", err)
+	}
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder. Three
+// properties must hold for every input:
+//
+//  1. Decode never panics — corrupted frames fail with an error.
+//  2. Any envelope Decode accepts is re-encodable (EncodeChecked must not
+//     reject a frame the decoder considered well-formed), and Size agrees
+//     with the encoder byte-for-byte.
+//  3. Re-encoding then decoding is semantically lossless. Byte-identity is
+//     NOT required: Decode accepts v1 frames and presence bits the encoder
+//     would normalize away, but the envelope's meaning must survive the
+//     round trip.
+//
+// The seed corpus covers every envelope kind via the codec tests' sample
+// envelopes, both as emitted (v2) and with the version byte rewritten to 1
+// (small holder sets keep the v1 layout, so many of these are exactly what
+// a v1 encoder produced), plus a few degenerate frames.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, e := range sampleEnvelopes() {
+		frame := Encode(e)
+		f.Add(frame)
+		v1 := append([]byte(nil), frame...)
+		v1[0] = 1
+		f.Add(v1)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{2})
+	f.Add([]byte{2, 1})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		frame, err := EncodeChecked(e)
+		if err != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v\nenvelope: %+v", err, e)
+		}
+		if got := Size(e); got != len(frame) {
+			t.Fatalf("Size reports %d, encoder produced %d bytes", got, len(frame))
+		}
+		e2, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if !equalEnvelopes(e, e2) {
+			t.Fatalf("round trip changed the envelope:\n first: %+v\nsecond: %+v", e, e2)
+		}
+	})
+}

@@ -11,6 +11,7 @@
 #   1. `make <target>` mentioned in docs  → target exists in Makefile
 #   2. `-flag` on a cmd/<tool> invocation → tool declares the flag
 #   3. `-only <IDs>` for cmd/experiments  → id is in the registry
+#   4. -families/-styles values for cmd/explore → name is in the registry
 #
 # Exit: 0 clean, 1 findings. Best-effort by design — it only sees
 # references it can attribute to a tool on the same (joined) line.
@@ -54,6 +55,26 @@ registry_ids=$(grep -oE '\{"[ED][0-9]+"' cmd/experiments/main.go | tr -d '{"')
 for id in $(joined $DOCS | grep -oE '\-only [ED][0-9]+(,[ED][0-9]+)*' | sed 's/-only //' | tr ',' '\n' | sort -u); do
   if ! grep -qx "$id" <<<"$registry_ids"; then
     echo "docs_check: experiment id '$id' referenced in docs but absent from the cmd/experiments registry" >&2
+    fail=1
+  fi
+done
+
+# 4. family and style names passed to cmd/explore. The family registry is
+# internal/explore's Family constants; the styles are recovery.Style's
+# String() names. "all" is the CLI's wildcard.
+family_names=$(grep -oE 'Family = "[a-z]+"' internal/explore/explore.go | grep -oE '"[a-z]+"' | tr -d '"')
+style_names=$(grep -oE 'return "[a-z]+"' internal/recovery/recovery.go | grep -oE '"[a-z]+"' | tr -d '"')
+for fam in $(joined $DOCS | grep -oE 'cmd/explore .*' | grep -oE '\-families [a-z]+(,[a-z]+)*' | sed 's/-families //' | tr ',' '\n' | sort -u); do
+  [ "$fam" = all ] && continue
+  if ! grep -qx "$fam" <<<"$family_names"; then
+    echo "docs_check: family '$fam' passed to cmd/explore in docs but absent from internal/explore" >&2
+    fail=1
+  fi
+done
+for sty in $(joined $DOCS | grep -oE 'cmd/explore .*' | grep -oE '\-styles [a-z]+(,[a-z]+)*' | sed 's/-styles //' | tr ',' '\n' | sort -u); do
+  [ "$sty" = all ] && continue
+  if ! grep -qx "$sty" <<<"$style_names"; then
+    echo "docs_check: style '$sty' passed to cmd/explore in docs but absent from internal/recovery" >&2
     fail=1
   fi
 done
